@@ -1,0 +1,40 @@
+# Bench binaries land directly in build/bench/ with no CMake bookkeeping
+# directories, so `for b in build/bench/*; do $b; done` runs them all.
+
+set(DRACONIS_BENCH_LIBS
+  draconis_cluster
+  draconis_baselines
+  draconis_core
+  draconis_workload
+  draconis_p4
+  draconis_net
+  draconis_metrics
+  draconis_stats
+  draconis_sim
+  draconis_common
+)
+
+function(draconis_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE ${DRACONIS_BENCH_LIBS})
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+draconis_add_bench(fig05a_latency_500us)
+draconis_add_bench(fig05b_throughput)
+draconis_add_bench(fig06_synthetic_suite)
+draconis_add_bench(fig07_recirculation)
+draconis_add_bench(fig08_jbsq_size)
+draconis_add_bench(fig09_google_trace)
+draconis_add_bench(fig10_locality)
+draconis_add_bench(fig11_resource)
+draconis_add_bench(fig12_priority)
+draconis_add_bench(fig13_gettask_overhead)
+draconis_add_bench(tab_efficiency)
+draconis_add_bench(tab_capacity)
+draconis_add_bench(tab_ablation)
+draconis_add_bench(tab_scalability)
+
+draconis_add_bench(micro_core)
+target_link_libraries(micro_core PRIVATE benchmark::benchmark)

@@ -1,0 +1,70 @@
+// Reproduces paper Fig. 5a: throughput vs p99 scheduling delay for all
+// scheduling alternatives, 500 us fixed tasks on the 160-executor testbed.
+//
+// Paper headline: Draconis p99 = 4.7 us — 3x / 20x / 120x / 200x lower than
+// RackSched / Draconis-DPDK-Server / R2P2 / Sparrow; socket-based systems
+// cannot exceed ~160 ktps.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace draconis;
+using namespace draconis::bench;
+using namespace draconis::cluster;
+
+namespace {
+
+struct System {
+  const char* name;
+  SchedulerKind kind;
+  size_t num_schedulers = 1;
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 5a", "throughput vs p99 scheduling delay, 500 us tasks");
+
+  const std::vector<System> systems = {
+      {"Draconis", SchedulerKind::kDraconis},
+      {"RackSched", SchedulerKind::kRackSched},
+      {"R2P2-3", SchedulerKind::kR2P2},
+      {"Draconis-DPDK-Server", SchedulerKind::kDraconisDpdkServer},
+      {"Draconis-Socket-Server", SchedulerKind::kDraconisSocketServer},
+      {"1 Sparrow", SchedulerKind::kSparrow, 1},
+      {"2 Sparrow", SchedulerKind::kSparrow, 2},
+  };
+  std::vector<double> loads_ktps = {50, 100, 150, 200, 250, 290};
+  if (Quick()) {
+    loads_ktps = {100, 250};
+  }
+
+  const workload::ServiceTime service = workload::ServiceTime::Fixed(FromMicros(500));
+
+  std::printf("%-24s", "p99 sched delay");
+  for (double load : loads_ktps) {
+    std::printf(" %9.0fk", load);
+  }
+  std::printf("   (offered tasks/s)\n");
+
+  for (const System& system : systems) {
+    std::printf("%-24s", system.name);
+    for (double load : loads_ktps) {
+      ExperimentConfig config = SyntheticConfig(system.kind, load * 1000.0, service);
+      config.num_schedulers = system.num_schedulers;
+      config.jbsq_k = 3;
+      ExperimentResult result = RunExperiment(config);
+      std::printf(" %10s", P99OrNone(result.metrics->sched_delay()).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nShape check: Draconis lowest and flat; RackSched a few-x higher (intra-node\n"
+      "dispatch); server schedulers blow up as they saturate; R2P2 pinned near the\n"
+      "500 us service time (node-level blocking); Sparrow worst overall.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces paper Fig. 5b: scheduling throughput with a no-op workload as
+// the number of executors grows.
+//
+// Paper headline: Draconis scales linearly to 58 M decisions/s at 208
+// executors (52x the best server scheduler); Draconis-DPDK-Server ~1.1 Mtps;
+// Sparrow ~500 ktps (1 scheduler) / ~900 ktps (2).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace draconis;
+using namespace draconis::bench;
+using namespace draconis::cluster;
+
+namespace {
+
+// Per-executor no-op pull-loop rate (calibration: 58 Mtps / 208 executors).
+constexpr double kPullRatePerExecutor = 280e3;
+
+double RunNoOp(SchedulerKind kind, size_t executors, size_t num_schedulers) {
+  ExperimentConfig config;
+  config.scheduler = kind;
+  config.num_schedulers = num_schedulers;
+  // Executors spread over 13 "machines" like the paper's no-op experiment.
+  config.num_workers = 13;
+  config.executors_per_worker = (executors + config.num_workers - 1) / config.num_workers;
+  // Feeding a 58 M decisions/s pull plane takes a fleet of submitters; the
+  // paper notes even 208 no-op executors could not stress the switch itself.
+  config.num_clients = kind == SchedulerKind::kDraconis ? 32 : 8;
+  config.noop_executors = true;
+  config.warmup = FromMillis(5);
+  config.horizon = Quick() ? FromMillis(10) : FromMillis(20);
+  config.seed = 7;
+
+  // Feed each system ~30% past its expected ceiling so the scheduler — not
+  // the submission plane — is the measured bottleneck (overfeeding a server
+  // by 50x would just melt its submission path, which is not what Fig. 5b
+  // measures).
+  const double total = config.num_workers * config.executors_per_worker;
+  double feed_tps = 1.3 * 1.1e6;  // DPDK server ceiling
+  switch (kind) {
+    case SchedulerKind::kDraconis:
+      feed_tps = 0.98 * kPullRatePerExecutor * total;  // executors are the cap
+      break;
+    case SchedulerKind::kDraconisSocketServer:
+      feed_tps = 1.3 * 0.4e6;
+      break;
+    case SchedulerKind::kSparrow:
+      feed_tps = 1.3 * 0.5e6 * static_cast<double>(num_schedulers);
+      break;
+    default:
+      break;
+  }
+  workload::OpenLoopSpec spec;
+  spec.tasks_per_second = feed_tps;
+  spec.duration = config.horizon;
+  spec.tasks_per_job = 16;
+  spec.service = workload::ServiceTime::Fixed(0);
+  spec.seed = 7;
+  config.stream = workload::GenerateOpenLoop(spec);
+  // Single-task packets for the switch (multi-task submissions would fight
+  // over the loopback port at these rates); MTU batches for the servers.
+  config.max_tasks_per_packet = kind == SchedulerKind::kDraconis ? 1 : 0;
+
+  ExperimentResult result = RunExperiment(config);
+  return result.throughput_tps;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 5b", "no-op scheduling throughput vs number of executors");
+
+  std::vector<size_t> executor_counts = {16, 52, 104, 160, 208};
+  if (Quick()) {
+    executor_counts = {52, 208};
+  }
+
+  struct System {
+    const char* name;
+    SchedulerKind kind;
+    size_t schedulers;
+  };
+  const System systems[] = {
+      {"Draconis", SchedulerKind::kDraconis, 1},
+      {"Draconis-DPDK-Server", SchedulerKind::kDraconisDpdkServer, 1},
+      {"Draconis-Socket-Server", SchedulerKind::kDraconisSocketServer, 1},
+      {"1 Sparrow", SchedulerKind::kSparrow, 1},
+      {"2 Sparrow", SchedulerKind::kSparrow, 2},
+  };
+
+  std::printf("%-24s", "decisions/s");
+  for (size_t n : executor_counts) {
+    std::printf(" %9zu", n);
+  }
+  std::printf("   (executors)\n");
+
+  for (const System& system : systems) {
+    std::printf("%-24s", system.name);
+    for (size_t n : executor_counts) {
+      const double tps = RunNoOp(system.kind, n, system.schedulers);
+      std::printf(" %8.2fM", tps / 1e6);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nShape check: Draconis grows linearly with executors (the switch is never the\n"
+      "bottleneck); every server scheduler plateaus at its packet-processing ceiling\n"
+      "(DPDK ~1.1M, sockets ~0.4M, Sparrow ~0.5M / ~0.9M for 1 / 2 schedulers).\n");
+  return 0;
+}

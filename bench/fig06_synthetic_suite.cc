@@ -1,0 +1,77 @@
+// Reproduces paper Fig. 6 (a-f): throughput vs p99 scheduling delay across
+// the full synthetic suite — fixed 100/250/500 us, bimodal, trimodal, and
+// exponential service times.
+//
+// Paper headline: Draconis holds 4.7-20 us tails across the suite while
+// RackSched, R2P2 and the DPDK server are one to two orders of magnitude
+// higher.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace draconis;
+using namespace draconis::bench;
+using namespace draconis::cluster;
+
+int main() {
+  PrintHeader("Figure 6", "p99 scheduling delay vs load, synthetic workload suite");
+
+  struct Panel {
+    const char* name;
+    workload::ServiceTime service;
+  };
+  const Panel panels[] = {
+      {"(a) 100us fixed", workload::ServiceTime::Fixed(FromMicros(100))},
+      {"(b) 250us fixed", workload::ServiceTime::Fixed(FromMicros(250))},
+      {"(c) 500us fixed", workload::ServiceTime::Fixed(FromMicros(500))},
+      {"(d) bimodal", workload::ServiceTime::PaperBimodal()},
+      {"(e) trimodal", workload::ServiceTime::PaperTrimodal()},
+      {"(f) exponential", workload::ServiceTime::PaperExponential()},
+  };
+
+  struct System {
+    const char* name;
+    SchedulerKind kind;
+  };
+  const System systems[] = {
+      {"Draconis", SchedulerKind::kDraconis},
+      {"RackSched", SchedulerKind::kRackSched},
+      {"R2P2-3", SchedulerKind::kR2P2},
+      {"Draconis-DPDK-Server", SchedulerKind::kDraconisDpdkServer},
+  };
+
+  std::vector<double> utils = {0.3, 0.5, 0.7, 0.8, 0.9};
+  if (Quick()) {
+    utils = {0.5, 0.8};
+  }
+
+  for (const Panel& panel : panels) {
+    std::printf("\n--- %s (mean %s) ---\n", panel.name,
+                FormatDuration(panel.service.Mean()).c_str());
+    std::printf("%-24s", "p99 sched delay");
+    for (double util : utils) {
+      std::printf("    %3.0f%%  ", util * 100);
+    }
+    std::printf("  (cluster load)\n");
+    for (const System& system : systems) {
+      std::printf("%-24s", system.name);
+      for (double util : utils) {
+        const double tps = UtilToTps(util, panel.service.Mean());
+        ExperimentConfig config = SyntheticConfig(system.kind, tps, panel.service);
+        ExperimentResult result = RunExperiment(config);
+        std::printf(" %9s ", P99OrNone(result.metrics->sched_delay()).c_str());
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nShape check: Draconis stays microseconds until ~90%% load in every panel;\n"
+      "R2P2-3 is pinned near the task service time (node-level blocking); RackSched\n"
+      "sits a few microseconds above Draconis at low load and degrades with\n"
+      "utilization; the DPDK server blows up once its packet ceiling nears.\n");
+  return 0;
+}

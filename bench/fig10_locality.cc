@@ -1,0 +1,72 @@
+// Reproduces paper Fig. 10 + §8.5 text: locality-aware scheduling vs FCFS on
+// a 3-rack cluster with 100 us CPU tasks whose (unreplicated) input data
+// lives on exactly one node. Intra-rack data access costs 20 us, inter-rack
+// 100 us.
+//
+// Paper headline: with rack_start_limit=3 / global_start_limit=9 the policy
+// places 27.66% of tasks data-local and 38.82% rack-local (vs 10.03% /
+// 24.05% for FCFS); median end-to-end latency drops from 203.87 us to
+// 131.35 us, with FCFS winning again past the ~66th percentile.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace draconis;
+using namespace draconis::bench;
+using namespace draconis::cluster;
+
+namespace {
+
+ExperimentResult RunLocality(PolicyKind policy) {
+  const workload::ServiceTime service = workload::ServiceTime::Fixed(FromMicros(100));
+  // ~55% CPU utilization before data-access penalties; single-task jobs (the
+  // workload models a steady stream of independent scan chunks).
+  ExperimentConfig config =
+      SyntheticConfig(SchedulerKind::kDraconis, UtilToTps(0.55, service.Mean()), service, 91,
+                      /*tasks_per_job=*/1);
+  config.policy = policy;
+  config.num_racks = 3;
+  config.locality_access_model = true;
+  config.locality_limits = core::LocalityPolicy::Limits{3, 9};
+  // Completion = scheduling delay (deliberately stretched by the locality
+  // escalation) + data access (up to 100 us) + 100 us of execution: use a
+  // client timeout in the paper's "typical 5-10x" band so the policy's
+  // intentional delays don't trigger duplicate storms.
+  config.timeout_multiplier = 10.0;
+  workload::TagLocality(config.stream, kWorkers, 17);
+  return RunExperiment(config);
+}
+
+void Report(const char* name, const ExperimentResult& result) {
+  const double local =
+      static_cast<double>(result.metrics->placements(net::TaskInfo::Placement::kLocal));
+  const double rack =
+      static_cast<double>(result.metrics->placements(net::TaskInfo::Placement::kSameRack));
+  const double remote =
+      static_cast<double>(result.metrics->placements(net::TaskInfo::Placement::kRemote));
+  const double total = local + rack + remote;
+  std::printf("%-20s placement: %5.2f%% local  %5.2f%% same-rack  %5.2f%% remote\n", name,
+              100 * local / total, 100 * rack / total, 100 * remote / total);
+  PrintQuantileRow(name, result.metrics->e2e_delay());
+  MaybeDumpCdf("fig10", name, result.metrics->e2e_delay());
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 10", "locality-aware scheduling vs FCFS (end-to-end delay CDF)");
+
+  ExperimentResult fcfs = RunLocality(PolicyKind::kFcfs);
+  ExperimentResult locality = RunLocality(PolicyKind::kLocality);
+
+  PrintQuantileHeader("end-to-end delay");
+  Report("Draconis-FCFS", fcfs);
+  Report("Draconis-Locality", locality);
+
+  std::printf(
+      "\nShape check: the locality policy multiplies the data-local placement share\n"
+      "(~10%% -> ~28%% in the paper) and wins the median by ~1.5x; FCFS catches up at\n"
+      "the upper percentiles because locality delays hard-to-place tasks.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces paper Fig. 11: resource-constraint-aware scheduling. The
+// cluster is split into three groups — G1 offers resource A, G2 offers A+B,
+// G3 offers A+B+C — and the workload runs three equal phases whose tasks
+// demand A, then B, then C.
+//
+// Paper headline: in phase 1 all groups are busy; in phase 2 only G2+G3; in
+// phase 3 only G3, which is overloaded — the last task is submitted at the
+// 90 s mark but execution finishes around 110 s.
+//
+// Scaling note (DESIGN.md): the paper runs 3 x 30 s phases on 160 executors;
+// we run a time-scaled version (3 x 3 s phases, 10 ms tasks, 48 executors)
+// that preserves the per-phase utilization ratios and the ~2/3-phase
+// overrun.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace draconis;
+using namespace draconis::bench;
+using namespace draconis::cluster;
+
+int main() {
+  PrintHeader("Figure 11", "per-group node throughput under phased resource constraints");
+
+  constexpr size_t kNodes = 6;          // 2 nodes per group
+  constexpr size_t kExecsPerNode = 8;   // 48 executors
+  const TimeNs phase = Quick() ? FromSeconds(1) : FromSeconds(3);
+  const TimeNs task = FromMillis(10);
+
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kDraconis;
+  config.policy = PolicyKind::kResource;
+  config.num_workers = kNodes;
+  config.executors_per_worker = kExecsPerNode;
+  config.num_clients = 2;
+  // G1 = nodes {0,1}: A; G2 = nodes {2,3}: A+B; G3 = nodes {4,5}: A+B+C.
+  config.worker_resources = {0b001, 0b001, 0b011, 0b011, 0b111, 0b111};
+  config.max_tasks_per_packet = 1;
+
+  workload::ResourcePhasesSpec spec;
+  // ~55% of cluster capacity per phase: phase 3's demand is 3x G3's own
+  // capacity, so G3 needs ~1.65 extra phases to drain.
+  spec.tasks_per_second = 0.55 * kNodes * kExecsPerNode / ToSeconds(task);
+  spec.phase_duration = phase;
+  spec.service = workload::ServiceTime::Fixed(task);
+  spec.seed = 33;
+  config.stream = workload::GenerateResourcePhases(spec);
+
+  config.warmup = 1;  // measure everything
+  config.horizon = 8 * phase;
+  config.run_to_completion = true;
+  config.node_series_bucket = phase / 10;
+  // Constrained tasks legitimately wait a large fraction of a phase for a
+  // capable executor; resubmission would only duplicate them.
+  config.timeout_multiplier = 2000.0;
+  // Slow the idle-executor poll loop: G1/G2 executors have nothing runnable
+  // for whole phases and each of their pulls starts a swap walk.
+  config.executor_template.max_retry = FromMicros(500);
+
+  ExperimentResult result = RunExperiment(config);
+
+  std::printf("last task submitted at %s; all tasks finished at %s (paper: 90 s -> ~110 s)\n\n",
+              FormatDuration(3 * phase).c_str(), FormatDuration(result.drain_time).c_str());
+
+  std::printf("avg tasks/s per node in each group (bucket = %s):\n",
+              FormatDuration(config.node_series_bucket).c_str());
+  std::printf("%8s %12s %12s %12s\n", "time", "G1 (A)", "G2 (AB)", "G3 (ABC)");
+  const size_t buckets = static_cast<size_t>(result.drain_time / config.node_series_bucket) + 1;
+  for (size_t b = 0; b < buckets; ++b) {
+    double g[3] = {0, 0, 0};
+    for (uint32_t node = 0; node < kNodes; ++node) {
+      g[node / 2] += result.metrics->node_completions(node).BucketRate(b);
+    }
+    std::printf("%8s %12.1f %12.1f %12.1f\n",
+                FormatDuration(static_cast<TimeNs>(b) * config.node_series_bucket).c_str(),
+                g[0] / 2, g[1] / 2, g[2] / 2);
+  }
+
+  std::printf(
+      "\nShape check: all groups busy in phase 1; G1 idles in phase 2; only G3 works\n"
+      "in phase 3 and overruns well past the end of submissions (paper: 20 s of\n"
+      "overrun on 30 s phases; here the same ~2/3-phase overrun, time-scaled).\n");
+  return 0;
+}

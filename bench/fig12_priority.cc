@@ -1,0 +1,75 @@
+// Reproduces paper Fig. 12: queueing delay per priority level under the
+// priority-aware policy vs plain FCFS, on a heavily loaded Google-like trace
+// with 5 ms mean task durations and the paper's 4-level priority mix
+// (1.2% / 1.7% / 64.6% / 32.2%).
+//
+// Paper headline: median queueing delays of 1.4 ms / 2.9 ms / 13.3 ms /
+// 53.5 ms for priorities 1-4, vs 39.5 ms for priority-unaware FCFS.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace draconis;
+using namespace draconis::bench;
+using namespace draconis::cluster;
+
+namespace {
+
+ExperimentResult RunPriorityTrace(PolicyKind policy, TimeNs horizon) {
+  workload::GoogleTraceSpec spec;
+  spec.duration = horizon / 2;  // submissions stop halfway; backlog drains
+  spec.mean_task_duration = FromMillis(5);
+  // Oversampled (paper: "increased the sampling rate to place higher load on
+  // the cluster, thereby increasing the queuing delays"): ~1.1x capacity.
+  spec.mean_tasks_per_second = 1.1 * kTotalExecutors / 5e-3;
+  spec.priority_levels = 4;
+  spec.seed = 77;
+
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kDraconis;
+  config.policy = policy;
+  config.priority_levels = 4;
+  config.num_workers = kWorkers;
+  config.executors_per_worker = kExecutorsPerWorker;
+  config.num_clients = 4;
+  config.warmup = 1;
+  config.horizon = horizon;
+  config.max_tasks_per_packet = 1;
+  config.run_to_completion = true;
+  config.timeout_multiplier = 1000.0;  // queueing is the point, not loss recovery
+  config.stream = workload::GenerateGoogleTrace(spec);
+  // Track per-priority histograms even for the FCFS run.
+  if (policy == PolicyKind::kFcfs) {
+    config.policy = PolicyKind::kPriority;
+    config.priority_levels = 1;  // one class-of-service queue == FCFS
+  }
+  return RunExperiment(config);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 12", "queueing delay per priority level vs FCFS (5 ms Google-like trace)");
+
+  const TimeNs horizon = Quick() ? FromSeconds(2) : FromSeconds(6);
+
+  ExperimentResult prio = RunPriorityTrace(PolicyKind::kPriority, horizon);
+  ExperimentResult fcfs = RunPriorityTrace(PolicyKind::kFcfs, horizon);
+
+  PrintQuantileHeader("queueing delay");
+  for (size_t level = 1; level <= 4; ++level) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "priority %zu", level);
+    PrintQuantileRow(name, prio.metrics->priority_queueing(level));
+    MaybeDumpCdf("fig12", name, prio.metrics->priority_queueing(level));
+  }
+  PrintQuantileRow("FCFS (all tasks)", fcfs.metrics->queueing_delay());
+  MaybeDumpCdf("fig12", "fcfs", fcfs.metrics->queueing_delay());
+
+  std::printf(
+      "\nShape check: medians ordered p1 < p2 < p3 < p4, spanning roughly two orders\n"
+      "of magnitude (paper: 1.4 / 2.9 / 13.3 / 53.5 ms); the FCFS median sits between\n"
+      "p3 and p4 (paper: 39.5 ms).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Design-choice ablations (DESIGN.md §7). Not a paper figure — these isolate
+// the cost/benefit of two implementation decisions:
+//
+// 1. Shadow-copy dequeue vs the paper's textbook overrun-and-repair dequeue:
+//    how many repair recirculations each incurs and what that does to the
+//    tail under an empty-queue-heavy (moderate load) workload.
+// 2. Multi-task job_submission packets (one recirculation per extra task,
+//    §4.3) vs trains of single-task packets: the recirculation bill of
+//    batched submission.
+// 3. RackSched's intra-node policy (§2.2): cFCFS (light-tailed) vs
+//    preemptive Processor Sharing (heavy-tailed) on the exponential
+//    workload — and how both compare to Draconis' central queue.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace draconis;
+using namespace draconis::bench;
+using namespace draconis::cluster;
+
+int main() {
+  PrintHeader("Table: design ablations", "shadow-copy dequeue; batched submissions");
+
+  const workload::ServiceTime service = workload::ServiceTime::Fixed(FromMicros(100));
+
+  std::printf("--- dequeue scheme (100 us tasks, 50%% load: the queue is often empty) ---\n");
+  std::printf("%-28s %14s %14s %12s %14s\n", "scheme", "recirc share", "repairs/s",
+              "p99 sched", "drops");
+  for (bool shadow : {true, false}) {
+    ExperimentConfig config =
+        SyntheticConfig(SchedulerKind::kDraconis, UtilToTps(0.5, service.Mean()), service, 21);
+    config.shadow_copy_dequeue = shadow;
+    ExperimentResult result = RunExperiment(config);
+    const double seconds = ToSeconds(config.horizon);
+    std::printf("%-28s %13.3f%% %14.0f %12s %14llu\n",
+                shadow ? "shadow-copy (production)" : "overrun+repair (paper §4.5)",
+                result.recirculation_share * 100,
+                static_cast<double>(result.draconis.retrieve_repairs) / seconds,
+                FormatDuration(result.metrics->sched_delay().Percentile(0.99)).c_str(),
+                static_cast<unsigned long long>(result.recirc_drops));
+    std::fflush(stdout);
+  }
+
+  std::printf("\n--- submission batching (30-task jobs, 60%% load) ---\n");
+  std::printf("%-28s %14s %14s %12s\n", "packetization", "recirc share", "acks/s",
+              "p99 sched");
+  for (size_t per_packet : {1, 30}) {
+    ExperimentConfig config = SyntheticConfig(SchedulerKind::kDraconis,
+                                              UtilToTps(0.6, service.Mean()), service, 22,
+                                              /*tasks_per_job=*/30);
+    config.max_tasks_per_packet = per_packet;
+    ExperimentResult result = RunExperiment(config);
+    const double seconds = ToSeconds(config.horizon);
+    std::printf("%-28s %13.3f%% %14.0f %12s\n",
+                per_packet == 1 ? "single-task packets" : "one 30-task packet per job",
+                result.recirculation_share * 100,
+                static_cast<double>(result.draconis.acks_sent) / seconds,
+                FormatDuration(result.metrics->sched_delay().Percentile(0.99)).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n--- RackSched intra-node policy (exponential 250 us tasks, 70%% load) ---\n");
+  std::printf("(PS admits instantly — queueing vanishes — but stretches service;\n"
+              " end-to-end shows the whole trade)\n");
+  std::printf("%-28s %12s %12s %12s %12s\n", "configuration", "p50 sched", "p99 sched",
+              "p50 e2e", "p99 e2e");
+  {
+    const workload::ServiceTime heavy = workload::ServiceTime::PaperExponential();
+    struct Row {
+      const char* name;
+      SchedulerKind kind;
+      baselines::IntraNodePolicy intra;
+    };
+    const Row rows[] = {
+        {"RackSched + cFCFS", SchedulerKind::kRackSched, baselines::IntraNodePolicy::kFcfs},
+        {"RackSched + PS", SchedulerKind::kRackSched,
+         baselines::IntraNodePolicy::kProcessorSharing},
+        {"Draconis (cFCFS)", SchedulerKind::kDraconis, baselines::IntraNodePolicy::kFcfs},
+    };
+    for (const Row& row : rows) {
+      ExperimentConfig config =
+          SyntheticConfig(row.kind, UtilToTps(0.7, heavy.Mean()), heavy, 23);
+      config.racksched_intra_policy = row.intra;
+      ExperimentResult result = RunExperiment(config);
+      const auto& sched = result.metrics->sched_delay();
+      const auto& e2e = result.metrics->e2e_delay();
+      std::printf("%-28s %12s %12s %12s %12s\n", row.name,
+                  FormatDuration(sched.Percentile(0.5)).c_str(),
+                  FormatDuration(sched.Percentile(0.99)).c_str(),
+                  FormatDuration(e2e.Percentile(0.5)).c_str(),
+                  FormatDuration(e2e.Percentile(0.99)).c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf(
+      "\nShape check: the textbook dequeue repairs the retrieve pointer after nearly\n"
+      "every empty-queue dip while the shadow copy makes recirculation vanish; a\n"
+      "30-task packet costs 29 recirculations (one enqueue per pass, §4.3) but 30x\n"
+      "fewer submission packets and acks.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces §7's capacity analysis: how much switch SRAM the Draconis
+// queues consume, and what queue sizes / priority-level counts fit on
+// Tofino-1 vs Tofino-2 class hardware.
+//
+// Paper numbers: 164 K tasks on their (first-generation) switch, an
+// estimated 1 M tasks and 12 priority levels on Tofino 2.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/draconis_program.h"
+#include "core/policy.h"
+#include "p4/register.h"
+
+using namespace draconis;
+using namespace draconis::bench;
+
+namespace {
+
+// Register SRAM budgets available to a user program (order-of-magnitude
+// figures for the two switch generations).
+constexpr double kTofino1Sram = 12.0 * 1024 * 1024;  // ~12 MiB
+constexpr double kTofino2Sram = 64.0 * 1024 * 1024;  // ~64 MiB
+
+size_t QueueBytes(size_t capacity, size_t levels) {
+  core::PriorityPolicy policy(levels);
+  p4::ResourceLedger ledger;
+  core::DraconisConfig config;
+  config.queue_capacity = capacity;
+  core::DraconisProgram program(&policy, config, &ledger);
+  return ledger.total_bytes();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table: switch memory capacity", "queue sizes vs switch SRAM budgets (§7)");
+
+  std::printf("per-entry footprint: %zu bytes (TASK_INFO %zu + client 6 + skip/valid 4)\n\n",
+              core::QueueEntry::kWireSize, net::TaskInfo::kWireSize);
+
+  std::printf("%-28s %14s %12s %12s\n", "configuration", "register SRAM", "Tofino-1?",
+              "Tofino-2?");
+  struct Config {
+    const char* name;
+    size_t capacity;
+    size_t levels;
+  };
+  const Config configs[] = {
+      {"FCFS, 164K entries", 164 * 1024, 1},
+      {"FCFS, 1M entries", 1024 * 1024, 1},
+      {"4 levels x 64K", 64 * 1024, 4},
+      {"4 levels x 164K", 164 * 1024, 4},
+      {"12 levels x 64K", 64 * 1024, 12},
+      {"12 levels x 164K", 164 * 1024, 12},
+  };
+  for (const Config& config : configs) {
+    const size_t bytes = QueueBytes(config.capacity, config.levels);
+    std::printf("%-28s %11.2f MiB %12s %12s\n", config.name,
+                static_cast<double>(bytes) / (1024 * 1024),
+                static_cast<double>(bytes) <= kTofino1Sram ? "fits" : "no",
+                static_cast<double>(bytes) <= kTofino2Sram ? "fits" : "no");
+  }
+
+  std::printf(
+      "\nShape check: the paper's 164K-task FCFS queue fits first-generation hardware;\n"
+      "a ~1M-task queue and ~12 priority levels need a Tofino-2 class budget (§7).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Quantifies §3.1's trade-off: a pull-based executor idles for one RTT per
+// task while fetching work, so even a saturated cluster cannot exceed
+// service/(service + RTT) utilization. The paper states the loss is under 3%
+// for 100 us tasks.
+//
+// We overfeed the queue (no timeouts) so executors run flat out, and report
+// the achieved busy fraction per task duration.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace draconis;
+using namespace draconis::bench;
+using namespace draconis::cluster;
+
+int main() {
+  PrintHeader("Table: pull-model CPU efficiency",
+              "maximum executor utilization under the pull model (§3.1)");
+
+  std::printf("%-14s %14s %14s\n", "task duration", "max busy frac", "efficiency loss");
+  for (TimeNs duration : {FromMicros(25), FromMicros(50), FromMicros(100), FromMicros(250),
+                          FromMicros(500)}) {
+    const workload::ServiceTime service = workload::ServiceTime::Fixed(duration);
+    // 30% overfeed keeps the central queue non-empty throughout.
+    ExperimentConfig config =
+        SyntheticConfig(SchedulerKind::kDraconis, UtilToTps(1.3, duration), service, 3);
+    config.timeout_multiplier = 1e9;  // the backlog is intentional; no resubmission
+    ExperimentResult result = RunExperiment(config);
+
+    const double busy = result.executor_busy_fraction;
+    std::printf("%-14s %13.2f%% %13.2f%%\n", FormatDuration(duration).c_str(), busy * 100,
+                (1.0 - busy) * 100);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nShape check: the loss is one pull RTT (~3.5 us) per task — ~3%% at 100 us and\n"
+      "shrinking as tasks get longer (paper §3.1: \"less than 3%% when running 100 us\n"
+      "tasks\").\n");
+  return 0;
+}

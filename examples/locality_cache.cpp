@@ -1,0 +1,84 @@
+// Example: scheduling compute next to a sharded in-memory cache.
+//
+// A 9-node, 3-rack cluster holds an unreplicated in-memory dataset, sharded
+// one partition per node (the paper's §4.4 "store the input data on an
+// in-memory storage system, put a pointer in FN_PAR" pattern). Scan tasks
+// read their partition: free if they run on the owning node, 20 us over the
+// rack switch, 100 us across racks. We run the same scan twice — FCFS vs the
+// locality-aware policy — and compare placement and end-to-end latency.
+//
+//   ./build/examples/locality_cache
+
+#include <cstdio>
+
+#include "cluster/experiment.h"
+#include "workload/generators.h"
+
+using namespace draconis;
+using namespace draconis::cluster;
+
+namespace {
+
+ExperimentResult RunScan(PolicyKind policy) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kDraconis;
+  config.policy = policy;
+  config.num_workers = 9;
+  config.num_racks = 3;
+  config.executors_per_worker = 8;
+  config.num_clients = 2;
+  config.max_tasks_per_packet = 1;
+  config.locality_access_model = true;  // 0 / 20us / 100us data access
+  config.locality_limits = core::LocalityPolicy::Limits{3, 9};
+  config.timeout_multiplier = 10.0;
+  config.warmup = FromMillis(5);
+  config.horizon = FromMillis(60);
+
+  // A scan: 200 us of compute per partition chunk, ~40% CPU load.
+  workload::OpenLoopSpec spec;
+  spec.tasks_per_second = 0.4 * 72 / 200e-6;
+  spec.duration = config.horizon;
+  spec.service = workload::ServiceTime::Fixed(FromMicros(200));
+  spec.seed = 5;
+  config.stream = workload::GenerateOpenLoop(spec);
+  // Each chunk's partition lives on one node; TPROPS carries the owner.
+  workload::TagLocality(config.stream, 9, 23);
+  return RunExperiment(config);
+}
+
+void Report(const char* name, const ExperimentResult& result) {
+  const auto count = [&](net::TaskInfo::Placement p) {
+    return static_cast<double>(result.metrics->placements(p));
+  };
+  const double total = count(net::TaskInfo::Placement::kLocal) +
+                       count(net::TaskInfo::Placement::kSameRack) +
+                       count(net::TaskInfo::Placement::kRemote);
+  std::printf("%-18s  %5.1f%% on-node  %5.1f%% in-rack  %5.1f%% cross-rack\n", name,
+              100 * count(net::TaskInfo::Placement::kLocal) / total,
+              100 * count(net::TaskInfo::Placement::kSameRack) / total,
+              100 * count(net::TaskInfo::Placement::kRemote) / total);
+  std::printf("%-18s  chunk latency: p50=%s p90=%s p99=%s\n\n", "",
+              FormatDuration(result.metrics->e2e_delay().Percentile(0.5)).c_str(),
+              FormatDuration(result.metrics->e2e_delay().Percentile(0.9)).c_str(),
+              FormatDuration(result.metrics->e2e_delay().Percentile(0.99)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Cache-sharded scan on 9 nodes / 3 racks: FCFS vs locality-aware\n\n");
+
+  ExperimentResult fcfs = RunScan(PolicyKind::kFcfs);
+  ExperimentResult locality = RunScan(PolicyKind::kLocality);
+
+  Report("FCFS", fcfs);
+  Report("Locality-aware", locality);
+
+  const double speedup = static_cast<double>(fcfs.metrics->e2e_delay().Median()) /
+                         static_cast<double>(locality.metrics->e2e_delay().Median());
+  std::printf("median chunk speedup from locality: %.2fx\n", speedup);
+  std::printf("The switch delays hard-to-place chunks a bounded number of pulls\n"
+              "(rack_start_limit=3, global_start_limit=9) hoping a partition owner\n"
+              "frees up — and falls back rack-local, then anywhere.\n");
+  return speedup > 1.0 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Example: a latency-tiered analytics service on Draconis' priority policy.
+//
+// An interactive dashboard (priority 1) shares the cluster with ad-hoc
+// analyst queries (priority 2) and a bulk report backfill (priority 4). The
+// cluster runs hot; class-of-service queueing keeps the dashboard fast while
+// the backfill soaks up the leftover capacity — the same effect as the
+// paper's Fig. 12, driven through the public API.
+//
+//   ./build/examples/priority_analytics
+
+#include <cstdio>
+
+#include "cluster/experiment.h"
+#include "workload/generators.h"
+
+using namespace draconis;
+using namespace draconis::cluster;
+
+int main() {
+  std::printf("Priority-tiered analytics on a 64-executor cluster (~1.2x overloaded)\n\n");
+
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kDraconis;
+  config.policy = PolicyKind::kPriority;
+  config.priority_levels = 4;
+  config.num_workers = 4;
+  config.executors_per_worker = 16;
+  config.num_clients = 3;
+  config.max_tasks_per_packet = 1;
+  config.warmup = 1;
+  config.horizon = FromSeconds(4);
+  config.run_to_completion = true;
+  config.timeout_multiplier = 1e6;  // queueing is the point of the demo
+
+  // Three tenants, one workload stream: 5% dashboard refreshes, 15% analyst
+  // queries, 80% backfill chunks. 2 ms mean tasks, offered at ~1.2x capacity
+  // for one second so queues actually form.
+  workload::OpenLoopSpec spec;
+  spec.tasks_per_second = 1.2 * 64 / 2e-3;
+  spec.duration = FromSeconds(1);
+  spec.service = workload::ServiceTime::Exponential(FromMillis(2));
+  spec.seed = 7;
+  config.stream = workload::GenerateOpenLoop(spec);
+  workload::TagPriorities(config.stream, {5, 15, 0, 80}, 11);
+
+  ExperimentResult result = RunExperiment(config);
+
+  std::printf("%-22s %12s %12s %12s\n", "tenant", "p50 queue", "p90 queue", "p99 queue");
+  const char* names[] = {"dashboard (prio 1)", "analysts  (prio 2)", "(unused   prio 3)",
+                         "backfill  (prio 4)"};
+  for (size_t level = 1; level <= 4; ++level) {
+    const auto& h = result.metrics->priority_queueing(level);
+    if (h.count() == 0) {
+      continue;
+    }
+    std::printf("%-22s %12s %12s %12s\n", names[level - 1],
+                FormatDuration(h.Percentile(0.5)).c_str(),
+                FormatDuration(h.Percentile(0.9)).c_str(),
+                FormatDuration(h.Percentile(0.99)).c_str());
+  }
+  std::printf("\nall %llu tasks completed by %s; cluster drained with zero drops.\n",
+              static_cast<unsigned long long>(result.metrics->tasks_completed()),
+              FormatDuration(result.drain_time).c_str());
+  std::printf("The dashboard's queueing stays orders of magnitude below the backfill's\n"
+              "even though every task funnels through the same switch.\n");
+  return result.metrics->tasks_completed() > 0 ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+#include "baselines/central_server.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace draconis::baselines {
+
+CentralServerScheduler::CentralServerScheduler(sim::Simulator* simulator, net::Network* network,
+                                               const CentralServerConfig& config)
+    : simulator_(simulator), network_(network), config_(config) {
+  DRACONIS_CHECK(simulator != nullptr && network != nullptr);
+  node_id_ = network->Register(this, config.Profile());
+}
+
+void CentralServerScheduler::HandlePacket(net::Packet pkt) {
+  switch (pkt.op) {
+    case net::OpCode::kJobSubmission:
+      HandleSubmission(std::move(pkt));
+      return;
+    case net::OpCode::kTaskRequest:
+      HandleRequest(pkt);
+      return;
+    case net::OpCode::kTaskCompletion: {
+      if (pkt.client_addr != net::kInvalidNode) {
+        net::Packet notice;
+        notice.op = net::OpCode::kCompletionNotice;
+        notice.dst = pkt.client_addr;
+        notice.tasks = {std::move(pkt.tasks.at(0))};
+        network_->Send(node_id_, std::move(notice));
+      }
+      HandleRequest(pkt);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void CentralServerScheduler::HandleSubmission(net::Packet pkt) {
+  const TimeNs now = simulator_->Now();
+  const net::NodeId client = pkt.src;
+
+  // Enqueue what fits; bounce the rest like the switch does.
+  size_t accepted = 0;
+  for (net::TaskInfo& task : pkt.tasks) {
+    if (queue_.size() >= config_.queue_capacity) {
+      break;
+    }
+    if (task.meta.enqueue_time < 0) {
+      task.meta.enqueue_time = now;
+    }
+    queue_.push_back(QueuedTask{std::move(task), client});
+    ++counters_.tasks_enqueued;
+    ++accepted;
+  }
+
+  // Feed executors that were parked on an empty queue.
+  while (!queue_.empty() && !waiting_executors_.empty()) {
+    const net::NodeId executor = waiting_executors_.front();
+    waiting_executors_.pop_front();
+    AssignTo(executor);
+  }
+
+  if (accepted < pkt.tasks.size()) {
+    ++counters_.queue_full_errors;
+    net::Packet error;
+    error.op = net::OpCode::kErrorQueueFull;
+    error.dst = client;
+    error.uid = pkt.uid;
+    error.jid = pkt.jid;
+    error.tasks.assign(std::make_move_iterator(pkt.tasks.begin() + accepted),
+                       std::make_move_iterator(pkt.tasks.end()));
+    network_->Send(node_id_, std::move(error));
+    return;
+  }
+
+  net::Packet ack;
+  ack.op = net::OpCode::kJobAck;
+  ack.dst = client;
+  ack.uid = pkt.uid;
+  ack.jid = pkt.jid;
+  network_->Send(node_id_, std::move(ack));
+}
+
+void CentralServerScheduler::HandleRequest(const net::Packet& pkt) {
+  if (queue_.empty()) {
+    // Park the pull until a task arrives (a server can hold state that a
+    // switch pipeline cannot).
+    ++counters_.parked_requests;
+    waiting_executors_.push_back(pkt.src);
+    return;
+  }
+  AssignTo(pkt.src);
+}
+
+void CentralServerScheduler::AssignTo(net::NodeId executor) {
+  QueuedTask next = std::move(queue_.front());
+  queue_.pop_front();
+  ++counters_.tasks_assigned;
+  net::Packet assignment;
+  assignment.op = net::OpCode::kTaskAssignment;
+  assignment.dst = executor;
+  assignment.tasks = {std::move(next.task)};
+  assignment.client_addr = next.client;
+  network_->Send(node_id_, std::move(assignment));
+}
+
+}  // namespace draconis::baselines

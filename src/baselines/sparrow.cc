@@ -1,0 +1,189 @@
+#include "baselines/sparrow.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace draconis::baselines {
+
+SparrowScheduler::SparrowScheduler(sim::Simulator* simulator, net::Network* network,
+                                   const SparrowConfig& config)
+    : simulator_(simulator), network_(network), config_(config), rng_(config.seed) {
+  DRACONIS_CHECK(simulator != nullptr && network != nullptr);
+  DRACONIS_CHECK(config.probe_ratio >= 1);
+  node_id_ = network->Register(this, SparrowConfig::Profile());
+}
+
+void SparrowScheduler::HandlePacket(net::Packet pkt) {
+  switch (pkt.op) {
+    case net::OpCode::kJobSubmission:
+      HandleSubmission(std::move(pkt));
+      return;
+    case net::OpCode::kGetTask:
+      HandleGetTask(pkt);
+      return;
+    default:
+      return;
+  }
+}
+
+void SparrowScheduler::HandleSubmission(net::Packet pkt) {
+  DRACONIS_CHECK_MSG(!workers_.empty(), "Sparrow scheduler has no workers configured");
+  const TimeNs now = simulator_->Now();
+  const uint64_t key = JobKey(pkt.uid, pkt.jid);
+  JobState& job = jobs_[key];
+  job.client = pkt.src;
+  for (net::TaskInfo& task : pkt.tasks) {
+    if (task.meta.enqueue_time < 0) {
+      task.meta.enqueue_time = now;
+    }
+    job.unlaunched.push_back(std::move(task));
+  }
+
+  // Batch sampling: d * m probes, to distinct workers first (partial
+  // Fisher-Yates); jobs larger than the cluster place additional
+  // reservations round-robin so every task has somewhere to bind.
+  const size_t wanted = config_.probe_ratio * pkt.tasks.size();
+  std::vector<net::NodeId> pool = workers_;
+  for (size_t i = 0; i < wanted; ++i) {
+    net::NodeId target;
+    if (i < pool.size()) {
+      const size_t j = i + rng_.NextBelow(pool.size() - i);
+      std::swap(pool[i], pool[j]);
+      target = pool[i];
+    } else {
+      target = pool[i % pool.size()];
+    }
+    net::Packet probe;
+    probe.op = net::OpCode::kProbe;
+    probe.dst = target;
+    probe.uid = pkt.uid;
+    probe.jid = pkt.jid;
+    ++counters_.probes_sent;
+    network_->Send(node_id_, std::move(probe));
+  }
+}
+
+void SparrowScheduler::HandleGetTask(const net::Packet& pkt) {
+  auto it = jobs_.find(JobKey(pkt.uid, pkt.jid));
+  if (it == jobs_.end() || it->second.unlaunched.empty()) {
+    // Late binding: the job's tasks are all placed; cancel the reservation.
+    ++counters_.empty_get_tasks;
+    net::Packet noop;
+    noop.op = net::OpCode::kNoOpTask;
+    noop.dst = pkt.src;
+    network_->Send(node_id_, std::move(noop));
+    return;
+  }
+  JobState& job = it->second;
+  net::TaskInfo task = std::move(job.unlaunched.front());
+  job.unlaunched.pop_front();
+  ++counters_.tasks_launched;
+
+  net::Packet assignment;
+  assignment.op = net::OpCode::kTaskAssignment;
+  assignment.dst = pkt.src;
+  assignment.tasks = {std::move(task)};
+  assignment.client_addr = job.client;
+  network_->Send(node_id_, std::move(assignment));
+
+  if (job.unlaunched.empty()) {
+    jobs_.erase(it);
+  }
+}
+
+SparrowWorker::SparrowWorker(sim::Simulator* simulator, net::Network* network,
+                             cluster::MetricsHub* metrics, size_t num_executors,
+                             uint32_t worker_node, TimeNs pickup_overhead)
+    : simulator_(simulator),
+      network_(network),
+      metrics_(metrics),
+      worker_node_(worker_node),
+      pickup_overhead_(pickup_overhead) {
+  DRACONIS_CHECK(simulator != nullptr && network != nullptr && metrics != nullptr);
+  DRACONIS_CHECK(num_executors >= 1);
+  node_id_ = network->Register(this, SparrowConfig::Profile());
+  core_busy_.assign(num_executors, false);
+}
+
+void SparrowWorker::HandlePacket(net::Packet pkt) {
+  switch (pkt.op) {
+    case net::OpCode::kProbe: {
+      reservations_.push_back(Reservation{pkt.src, pkt.uid, pkt.jid});
+      TryDispatch();
+      return;
+    }
+    case net::OpCode::kTaskAssignment: {
+      DRACONIS_CHECK_MSG(!waiting_cores_.empty(), "assignment without a waiting core");
+      const size_t core = waiting_cores_.front();
+      waiting_cores_.pop_front();
+
+      net::TaskInfo task = std::move(pkt.tasks.at(0));
+      const net::NodeId client = pkt.client_addr;
+      const TimeNs exec_start = simulator_->Now() + pickup_overhead_;
+      if (metrics_->FirstExecution(task.id)) {
+        metrics_->RecordAssignment(task, simulator_->Now());
+        metrics_->RecordExecutionStart(task, exec_start);
+      }
+      const TimeNs done = exec_start + task.meta.exec_duration;
+      metrics_->RecordBusyInterval(simulator_->Now(), done);
+      simulator_->At(done, [this, core, task = std::move(task), client]() mutable {
+        FinishTask(core, std::move(task), client);
+      });
+      return;
+    }
+    case net::OpCode::kNoOpTask: {
+      // Reservation cancelled; the core goes back to idle.
+      DRACONIS_CHECK_MSG(!waiting_cores_.empty(), "cancellation without a waiting core");
+      const size_t core = waiting_cores_.front();
+      waiting_cores_.pop_front();
+      core_busy_[core] = false;
+      TryDispatch();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void SparrowWorker::TryDispatch() {
+  while (!reservations_.empty()) {
+    size_t core = core_busy_.size();
+    for (size_t c = 0; c < core_busy_.size(); ++c) {
+      if (!core_busy_[c]) {
+        core = c;
+        break;
+      }
+    }
+    if (core == core_busy_.size()) {
+      return;  // all cores busy or waiting
+    }
+    Reservation res = reservations_.front();
+    reservations_.pop_front();
+    core_busy_[core] = true;
+    waiting_cores_.push_back(core);
+
+    net::Packet get;
+    get.op = net::OpCode::kGetTask;
+    get.dst = res.scheduler;
+    get.uid = res.uid;
+    get.jid = res.jid;
+    network_->Send(node_id_, std::move(get));
+  }
+}
+
+void SparrowWorker::FinishTask(size_t core, net::TaskInfo task, net::NodeId client) {
+  metrics_->RecordNodeCompletion(worker_node_, simulator_->Now());
+  if (client != net::kInvalidNode) {
+    net::Packet notice;
+    notice.op = net::OpCode::kCompletionNotice;
+    notice.dst = client;
+    notice.tasks = {std::move(task)};
+    network_->Send(node_id_, std::move(notice));
+  }
+  core_busy_[core] = false;
+  TryDispatch();
+}
+
+}  // namespace draconis::baselines

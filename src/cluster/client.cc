@@ -1,0 +1,165 @@
+#include "cluster/client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace draconis::cluster {
+
+Client::Client(sim::Simulator* simulator, net::Network* network, MetricsHub* metrics,
+               const ClientConfig& config)
+    : simulator_(simulator), network_(network), metrics_(metrics), config_(config) {
+  DRACONIS_CHECK(simulator != nullptr && network != nullptr && metrics != nullptr);
+  if (config_.max_tasks_per_packet == 0) {
+    config_.max_tasks_per_packet = net::MaxTasksPerPacket();
+  }
+  node_id_ = network->Register(this, config.host_profile);
+}
+
+uint32_t Client::SubmitJob(const std::vector<TaskSpec>& specs) {
+  DRACONIS_CHECK_MSG(scheduler_ != net::kInvalidNode, "client has no scheduler configured");
+  DRACONIS_CHECK(!specs.empty());
+  const uint32_t jid = next_jid_++;
+  const TimeNs now = simulator_->Now();
+
+  std::vector<net::TaskInfo> tasks;
+  tasks.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    net::TaskInfo task;
+    task.id = net::TaskId{config_.uid, jid, static_cast<uint32_t>(i)};
+    if (specs[i].oversized_param_bytes > 0) {
+      // §4.4: submit a transmission function; the executor fetches the real
+      // parameters (FN_PAR carries their size).
+      task.fn_id = net::kTransmissionFnId;
+      task.fn_par = specs[i].oversized_param_bytes;
+    } else {
+      task.fn_id = specs[i].fn_id;
+      task.fn_par = specs[i].fn_par;
+    }
+    task.tprops = specs[i].tprops;
+    task.meta.exec_duration = specs[i].duration;
+    task.meta.first_submit_time = now;
+    task.meta.submit_time = now;
+    metrics_->RecordSubmission(now);
+    if (!config_.fire_and_forget) {
+      ArmTimeout(task);
+    }
+    tasks.push_back(std::move(task));
+  }
+  SendTasks(std::move(tasks));
+  return jid;
+}
+
+void Client::SendTasks(std::vector<net::TaskInfo> tasks) {
+  // Split the job across as many job_submission packets as the MTU requires
+  // (§4.3 "Handling Large Jobs").
+  size_t offset = 0;
+  while (offset < tasks.size()) {
+    const size_t n = std::min(config_.max_tasks_per_packet, tasks.size() - offset);
+    net::Packet pkt;
+    pkt.op = net::OpCode::kJobSubmission;
+    pkt.dst = scheduler_;
+    pkt.uid = config_.uid;
+    pkt.jid = tasks[offset].id.jid;
+    pkt.tasks.assign(std::make_move_iterator(tasks.begin() + offset),
+                     std::make_move_iterator(tasks.begin() + offset + n));
+    network_->Send(node_id_, std::move(pkt));
+    offset += n;
+  }
+}
+
+void Client::HandlePacket(net::Packet pkt) {
+  switch (pkt.op) {
+    case net::OpCode::kJobAck:
+      return;  // informational only
+    case net::OpCode::kErrorQueueFull: {
+      // Retry the rejected tasks after a short wait (§4.3).
+      std::vector<net::TaskInfo> retry;
+      retry.reserve(pkt.tasks.size());
+      for (net::TaskInfo& task : pkt.tasks) {
+        auto it = outstanding_.find(task.id);
+        if (it == outstanding_.end()) {
+          continue;  // completed in the meantime (stale duplicate)
+        }
+        metrics_->RecordQueueFullRetry();
+        task.meta.submit_time = simulator_->Now() + config_.queue_full_retry_wait;
+        task.meta.attempt += 1;
+        retry.push_back(task);
+      }
+      if (!retry.empty()) {
+        simulator_->After(config_.queue_full_retry_wait,
+                          [this, retry = std::move(retry)]() mutable {
+                            SendTasks(std::move(retry));
+                          });
+      }
+      return;
+    }
+    case net::OpCode::kParamFetch: {
+      // §4.4: an executor asks for a transmission-function task's real
+      // parameters; reply with the bulk payload (stateless — the fetch
+      // carries the TASK_INFO, whose FN_PAR is the parameter size).
+      DRACONIS_CHECK(!pkt.tasks.empty());
+      net::Packet data;
+      data.op = net::OpCode::kParamData;
+      data.dst = pkt.src;
+      data.tasks = {pkt.tasks[0]};
+      data.payload_bytes = static_cast<uint32_t>(pkt.tasks[0].fn_par);
+      network_->Send(node_id_, std::move(data));
+      return;
+    }
+    case net::OpCode::kCompletionNotice: {
+      DRACONIS_CHECK(!pkt.tasks.empty());
+      const net::TaskInfo& task = pkt.tasks[0];
+      auto it = outstanding_.find(task.id);
+      if (it == outstanding_.end()) {
+        return;  // duplicate completion after a timeout resubmission
+      }
+      it->second.timeout.Cancel();
+      metrics_->RecordEndToEnd(task, simulator_->Now());
+      ++completions_;
+      outstanding_.erase(it);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+TimeNs Client::TimeoutFor(const net::TaskInfo& task) const {
+  const auto scaled =
+      static_cast<TimeNs>(config_.timeout_multiplier * static_cast<double>(task.meta.exec_duration));
+  const TimeNs base = std::max(scaled, config_.timeout_floor);
+  // Exponential backoff across resubmissions so a congested scheduler is not
+  // fed an unbounded duplicate storm.
+  const uint32_t shift = std::min<uint32_t>(task.meta.attempt, 6);
+  return base << shift;
+}
+
+void Client::ArmTimeout(const net::TaskInfo& task) {
+  Pending pending;
+  pending.task = task;
+  pending.timeout = simulator_->CancellableAfter(
+      TimeoutFor(task), [this, id = task.id] { OnTimeout(id); });
+  outstanding_[task.id] = std::move(pending);
+}
+
+void Client::OnTimeout(net::TaskId id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) {
+    return;
+  }
+  // The task (or its completion) was lost: resubmit it as a fresh
+  // single-task job_submission, keeping first_submit_time so the measured
+  // latency includes the loss (§8.3).
+  metrics_->RecordTimeoutResubmission();
+  net::TaskInfo task = it->second.task;
+  task.meta.submit_time = simulator_->Now();
+  task.meta.attempt += 1;
+  it->second.task = task;
+  it->second.timeout = simulator_->CancellableAfter(
+      TimeoutFor(task), [this, id] { OnTimeout(id); });
+  SendTasks({std::move(task)});
+}
+
+}  // namespace draconis::cluster

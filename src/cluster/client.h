@@ -1,0 +1,83 @@
+// Draconis client (paper §3.1, §4.3).
+//
+// Submits single tasks or batches of independent tasks as job_submission
+// packets (large jobs are split across packets at the MTU boundary), tracks
+// outstanding tasks, retries queue-full errors after a short wait, and
+// resubmits tasks whose completion notice does not arrive within the timeout
+// (2x the task's execution time by default, matching §8.3).
+
+#ifndef DRACONIS_CLUSTER_CLIENT_H_
+#define DRACONIS_CLUSTER_CLIENT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/metrics.h"
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "workload/spec.h"
+
+namespace draconis::cluster {
+
+using TaskSpec = workload::TaskSpec;
+
+struct ClientConfig {
+  uint32_t uid = 0;
+  double timeout_multiplier = 2.0;          // timeout = multiplier x duration
+  TimeNs timeout_floor = FromMicros(50);    // lower bound (covers no-op tasks)
+  TimeNs queue_full_retry_wait = FromMicros(50);
+  size_t max_tasks_per_packet = 0;          // 0: use the MTU-derived maximum
+  // Fire-and-forget mode for closed-loop throughput benches: no outstanding
+  // tracking, no timeouts, errors ignored.
+  bool fire_and_forget = false;
+  net::HostProfile host_profile = net::HostProfile::Dpdk(TimeNs{150});
+};
+
+class Client : public net::Endpoint {
+ public:
+  Client(sim::Simulator* simulator, net::Network* network, MetricsHub* metrics,
+         const ClientConfig& config);
+
+  net::NodeId node_id() const { return node_id_; }
+
+  // The scheduler address all submissions go to.
+  void SetScheduler(net::NodeId scheduler) { scheduler_ = scheduler; }
+
+  // Submits a batch of independent tasks as one job (possibly multiple
+  // packets). Returns the job id.
+  uint32_t SubmitJob(const std::vector<TaskSpec>& tasks);
+
+  // net::Endpoint:
+  void HandlePacket(net::Packet pkt) override;
+
+  // Tasks submitted but not yet completed.
+  size_t outstanding() const { return outstanding_.size(); }
+  uint64_t completions() const { return completions_; }
+
+ private:
+  struct Pending {
+    net::TaskInfo task;
+    sim::EventHandle timeout;
+  };
+
+  void SendTasks(std::vector<net::TaskInfo> tasks);
+  void ArmTimeout(const net::TaskInfo& task);
+  void OnTimeout(net::TaskId id);
+  TimeNs TimeoutFor(const net::TaskInfo& task) const;
+
+  sim::Simulator* simulator_;
+  net::Network* network_;
+  MetricsHub* metrics_;
+  ClientConfig config_;
+  net::NodeId node_id_;
+  net::NodeId scheduler_ = net::kInvalidNode;
+  uint32_t next_jid_ = 0;
+  uint64_t completions_ = 0;
+  std::unordered_map<net::TaskId, Pending, net::TaskIdHash> outstanding_;
+};
+
+}  // namespace draconis::cluster
+
+#endif  // DRACONIS_CLUSTER_CLIENT_H_

@@ -1,0 +1,111 @@
+// Pull-based executor (paper §3.1).
+//
+// One Executor models one worker-core process. It requests a task from the
+// scheduler when free, runs the task (data-access penalty + service time),
+// then sends the completion — with the next task request piggybacked — back
+// through the scheduler. On a no-op reply it retries periodically, with
+// exponential backoff capped at a small bound so an idle fleet doesn't melt
+// the simulator while still picking up new work within a microsecond or two
+// in aggregate.
+
+#ifndef DRACONIS_CLUSTER_EXECUTOR_H_
+#define DRACONIS_CLUSTER_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "cluster/metrics.h"
+#include "common/rng.h"
+#include "core/topology.h"
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace draconis::cluster {
+
+struct ExecutorConfig {
+  uint32_t worker_node = 0;  // which worker machine this core belongs to
+  uint32_t exec_props = 0;   // EXEC_RSRC bitmap or worker-node id (policy-specific)
+
+  TimeNs pickup_overhead = TimeNs{200};  // assignment arrival -> service start
+
+  // No-op retry backoff. The paper's DPDK executors re-poll every few
+  // microseconds (their no-op pull loop runs at ~280 k/s, i.e. a ~3.6 us
+  // round trip); the mild backoff cap keeps a fully idle simulated fleet
+  // affordable while idle executors still absorb arriving bursts within a
+  // few microseconds.
+  TimeNs initial_retry = FromMicros(2);
+  TimeNs max_retry = FromMicros(8);
+
+  // Watchdog: if neither a task nor a no-op arrives within this bound after
+  // a request, re-request (covers lost packets).
+  TimeNs request_timeout = FromMillis(1);
+
+  // Data-access model: when `topology` is set, service is preceded by a data
+  // fetch whose latency depends on where the task landed relative to its
+  // data-local node (Fig. 10's 20 us / 100 us intra/inter-rack accesses).
+  const core::Topology* topology = nullptr;
+  TimeNs local_access = 0;
+  TimeNs rack_access = FromMicros(20);
+  TimeNs remote_access = FromMicros(100);
+
+  // No-op executor mode for the throughput benchmark (Fig. 5b): drop the
+  // task immediately and request the next one.
+  bool drop_tasks = false;
+
+  net::HostProfile host_profile = net::HostProfile::Dpdk(TimeNs{150});
+};
+
+class Executor : public net::Endpoint {
+ public:
+  // Registers itself on the network. All pointers must outlive the executor.
+  Executor(sim::Simulator* simulator, net::Network* network, MetricsHub* metrics,
+           const ExecutorConfig& config);
+
+  net::NodeId node_id() const { return node_id_; }
+
+  // Schedules the first task request toward `scheduler` at time `at`.
+  void Start(net::NodeId scheduler, TimeNs at);
+
+  // §3.3 failover: point future pulls at a replacement scheduler. The
+  // request watchdog re-issues any pull lost to the failed switch.
+  void Rehome(net::NodeId scheduler) { scheduler_ = scheduler; }
+
+  // net::Endpoint:
+  void HandlePacket(net::Packet pkt) override;
+
+  uint64_t tasks_executed() const { return tasks_executed_; }
+  TimeNs busy_time() const { return busy_time_; }
+
+ private:
+  void SendRequest();
+  void RunTask(net::Packet assignment);
+  // Runs the task body (data access + service) and sends the completion.
+  void Execute(net::TaskInfo task, net::NodeId client, TimeNs access, bool record);
+  void SendParamFetch();
+
+  sim::Simulator* simulator_;
+  net::Network* network_;
+  MetricsHub* metrics_;
+  ExecutorConfig config_;
+  net::NodeId node_id_;
+  net::NodeId scheduler_ = net::kInvalidNode;
+
+  Rng rng_;
+  TimeNs retry_interval_;
+  TimeNs last_request_time_ = -1;
+  sim::EventHandle watchdog_;
+
+  // In-flight §4.4 parameter fetch (at most one task is held at a time).
+  bool fetch_pending_ = false;
+  net::TaskInfo fetch_task_;
+  net::NodeId fetch_client_ = net::kInvalidNode;
+  TimeNs fetch_access_ = 0;
+  bool fetch_record_ = false;
+  sim::EventHandle fetch_watchdog_;
+  uint64_t tasks_executed_ = 0;
+  TimeNs busy_time_ = 0;
+};
+
+}  // namespace draconis::cluster
+
+#endif  // DRACONIS_CLUSTER_EXECUTOR_H_

@@ -1,0 +1,369 @@
+#include "cluster/experiment.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/client.h"
+#include "common/check.h"
+#include "core/topology.h"
+#include "sim/simulator.h"
+#include "workload/generators.h"
+
+namespace draconis::cluster {
+
+namespace {
+
+// Incremental arrival feeder: schedules one event at a time so huge job
+// streams don't materialize as a million queued closures.
+class Feeder {
+ public:
+  Feeder(sim::Simulator* simulator, const workload::JobStream* stream,
+         std::vector<Client*> clients)
+      : simulator_(simulator), stream_(stream), clients_(std::move(clients)) {}
+
+  void Start() { ScheduleNext(); }
+  bool done() const { return next_ >= stream_->size(); }
+
+ private:
+  void ScheduleNext() {
+    if (done()) {
+      return;
+    }
+    simulator_->At((*stream_)[next_].at, [this] { Fire(); });
+  }
+
+  void Fire() {
+    const workload::JobArrival& job = (*stream_)[next_];
+    clients_[rr_ % clients_.size()]->SubmitJob(job.tasks);
+    ++rr_;
+    ++next_;
+    ScheduleNext();
+  }
+
+  sim::Simulator* simulator_;
+  const workload::JobStream* stream_;
+  std::vector<Client*> clients_;
+  size_t next_ = 0;
+  size_t rr_ = 0;
+};
+
+uint32_t ExecPropsFor(const ExperimentConfig& config, size_t worker) {
+  switch (config.policy) {
+    case PolicyKind::kLocality:
+      return static_cast<uint32_t>(worker);
+    case PolicyKind::kResource:
+      DRACONIS_CHECK_MSG(worker < config.worker_resources.size(),
+                         "resource policy needs worker_resources for every worker");
+      return config.worker_resources[worker];
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kDraconis:
+      return "Draconis";
+    case SchedulerKind::kDraconisDpdkServer:
+      return "Draconis-DPDK-Server";
+    case SchedulerKind::kDraconisSocketServer:
+      return "Draconis-Socket-Server";
+    case SchedulerKind::kR2P2:
+      return "R2P2";
+    case SchedulerKind::kRackSched:
+      return "RackSched";
+    case SchedulerKind::kSparrow:
+      return "Sparrow";
+  }
+  return "unknown";
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  DRACONIS_CHECK(config.num_workers >= 1 && config.executors_per_worker >= 1);
+  DRACONIS_CHECK(config.num_clients >= 1);
+
+  const workload::JobStream& stream = config.stream;
+  const TimeNs last_arrival = stream.empty() ? 0 : stream.back().at;
+  const TimeNs horizon =
+      config.horizon > 0 ? config.horizon : last_arrival + FromMillis(50);
+  DRACONIS_CHECK_MSG(config.warmup < horizon, "warmup must end before the horizon");
+
+  sim::Simulator simulator;
+  net::NetworkConfig net_config = config.network;
+  net_config.seed = config.seed * 7919 + 1;
+  net::Network network(&simulator, net_config);
+
+  const size_t total_executors = config.num_workers * config.executors_per_worker;
+  const size_t priority_tracking =
+      config.policy == PolicyKind::kPriority ? config.priority_levels : 0;
+  auto metrics = std::make_unique<MetricsHub>(config.warmup, horizon, config.num_workers,
+                                              priority_tracking, config.node_series_bucket);
+
+  core::Topology topology = core::Topology::Uniform(config.num_workers, config.num_racks);
+
+  // --- Scheduler construction ------------------------------------------------
+  std::unique_ptr<core::SchedulingPolicy> policy;
+  std::unique_ptr<core::DraconisProgram> draconis_program;
+  std::unique_ptr<baselines::R2P2Program> r2p2_program;
+  std::unique_ptr<baselines::RackSchedProgram> racksched_program;
+  std::unique_ptr<p4::SwitchPipeline> pipeline;
+  std::unique_ptr<baselines::CentralServerScheduler> server;
+  std::vector<std::unique_ptr<baselines::SparrowScheduler>> sparrow_schedulers;
+
+  std::vector<net::NodeId> scheduler_nodes;
+
+  switch (config.scheduler) {
+    case SchedulerKind::kDraconis: {
+      switch (config.policy) {
+        case PolicyKind::kFcfs:
+          policy = std::make_unique<core::FcfsPolicy>();
+          break;
+        case PolicyKind::kPriority:
+          policy = std::make_unique<core::PriorityPolicy>(config.priority_levels);
+          break;
+        case PolicyKind::kResource:
+          policy = std::make_unique<core::ResourcePolicy>();
+          break;
+        case PolicyKind::kLocality:
+          policy = std::make_unique<core::LocalityPolicy>(&topology, config.locality_limits);
+          break;
+      }
+      core::DraconisConfig dc;
+      dc.queue_capacity = config.queue_capacity;
+      dc.shadow_copy_dequeue = config.shadow_copy_dequeue;
+      dc.parallel_priority_stages = config.parallel_priority_stages;
+      draconis_program = std::make_unique<core::DraconisProgram>(policy.get(), dc);
+      pipeline =
+          std::make_unique<p4::SwitchPipeline>(&simulator, draconis_program.get(), config.pipeline);
+      scheduler_nodes.push_back(pipeline->AttachNetwork(&network));
+      break;
+    }
+    case SchedulerKind::kDraconisDpdkServer:
+    case SchedulerKind::kDraconisSocketServer: {
+      baselines::CentralServerConfig sc;
+      sc.transport = config.scheduler == SchedulerKind::kDraconisDpdkServer
+                         ? baselines::CentralServerConfig::Transport::kDpdk
+                         : baselines::CentralServerConfig::Transport::kSocket;
+      server = std::make_unique<baselines::CentralServerScheduler>(&simulator, &network, sc);
+      scheduler_nodes.push_back(server->node_id());
+      break;
+    }
+    case SchedulerKind::kR2P2: {
+      baselines::R2P2Config rc;
+      rc.num_executors = total_executors;
+      rc.jbsq_k = config.jbsq_k;
+      r2p2_program = std::make_unique<baselines::R2P2Program>(rc);
+      pipeline =
+          std::make_unique<p4::SwitchPipeline>(&simulator, r2p2_program.get(), config.pipeline);
+      scheduler_nodes.push_back(pipeline->AttachNetwork(&network));
+      break;
+    }
+    case SchedulerKind::kRackSched: {
+      baselines::RackSchedConfig rc;
+      rc.num_nodes = config.num_workers;
+      rc.seed = config.seed * 31 + 5;
+      racksched_program = std::make_unique<baselines::RackSchedProgram>(rc);
+      pipeline = std::make_unique<p4::SwitchPipeline>(&simulator, racksched_program.get(),
+                                                      config.pipeline);
+      scheduler_nodes.push_back(pipeline->AttachNetwork(&network));
+      break;
+    }
+    case SchedulerKind::kSparrow: {
+      baselines::SparrowConfig sc;
+      for (size_t s = 0; s < std::max<size_t>(1, config.num_schedulers); ++s) {
+        sc.seed = config.seed * 131 + s;
+        sparrow_schedulers.push_back(
+            std::make_unique<baselines::SparrowScheduler>(&simulator, &network, sc));
+        scheduler_nodes.push_back(sparrow_schedulers.back()->node_id());
+      }
+      break;
+    }
+  }
+
+  // --- Workers / executors ---------------------------------------------------
+  std::vector<std::unique_ptr<Executor>> executors;
+  std::vector<std::unique_ptr<baselines::R2P2Worker>> r2p2_workers;
+  std::vector<std::unique_ptr<baselines::RackSchedWorker>> racksched_workers;
+  std::vector<std::unique_ptr<baselines::SparrowWorker>> sparrow_workers;
+
+  const bool pull_based = config.scheduler == SchedulerKind::kDraconis ||
+                          config.scheduler == SchedulerKind::kDraconisDpdkServer ||
+                          config.scheduler == SchedulerKind::kDraconisSocketServer;
+
+  if (pull_based) {
+    executors.reserve(total_executors);
+    for (size_t w = 0; w < config.num_workers; ++w) {
+      for (size_t e = 0; e < config.executors_per_worker; ++e) {
+        ExecutorConfig ec = config.executor_template;
+        ec.worker_node = static_cast<uint32_t>(w);
+        ec.exec_props = ExecPropsFor(config, w);
+        ec.drop_tasks = config.noop_executors;
+        if (config.locality_access_model) {
+          ec.topology = &topology;
+        }
+        executors.push_back(std::make_unique<Executor>(&simulator, &network, metrics.get(), ec));
+      }
+    }
+    // Stagger the initial pulls so the fleet doesn't arrive in lockstep.
+    for (size_t i = 0; i < executors.size(); ++i) {
+      executors[i]->Start(scheduler_nodes[0], static_cast<TimeNs>(1 + i * 211));
+    }
+  } else if (config.scheduler == SchedulerKind::kR2P2) {
+    for (size_t w = 0; w < config.num_workers; ++w) {
+      std::vector<size_t> slots;
+      for (size_t e = 0; e < config.executors_per_worker; ++e) {
+        slots.push_back(w * config.executors_per_worker + e);
+      }
+      r2p2_workers.push_back(std::make_unique<baselines::R2P2Worker>(
+          &simulator, &network, metrics.get(), slots, static_cast<uint32_t>(w),
+          scheduler_nodes[0]));
+      for (size_t slot : slots) {
+        r2p2_program->BindExecutor(slot, r2p2_workers.back()->node_id());
+      }
+    }
+  } else if (config.scheduler == SchedulerKind::kRackSched) {
+    for (size_t w = 0; w < config.num_workers; ++w) {
+      racksched_workers.push_back(std::make_unique<baselines::RackSchedWorker>(
+          &simulator, &network, metrics.get(), config.executors_per_worker,
+          static_cast<uint32_t>(w), scheduler_nodes[0], TimeNs{3500}, TimeNs{200},
+          config.racksched_intra_policy));
+      racksched_program->BindNode(w, racksched_workers.back()->node_id());
+    }
+  } else {  // Sparrow
+    std::vector<net::NodeId> worker_nodes;
+    for (size_t w = 0; w < config.num_workers; ++w) {
+      sparrow_workers.push_back(std::make_unique<baselines::SparrowWorker>(
+          &simulator, &network, metrics.get(), config.executors_per_worker,
+          static_cast<uint32_t>(w)));
+      worker_nodes.push_back(sparrow_workers.back()->node_id());
+    }
+    for (auto& scheduler : sparrow_schedulers) {
+      scheduler->SetWorkers(worker_nodes);
+    }
+  }
+
+  // --- Clients ----------------------------------------------------------------
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<Client*> client_ptrs;
+  for (size_t c = 0; c < config.num_clients; ++c) {
+    ClientConfig cc;
+    cc.uid = static_cast<uint32_t>(c);
+    cc.timeout_multiplier = config.timeout_multiplier;
+    cc.timeout_floor = config.timeout_floor;
+    cc.fire_and_forget = config.noop_executors;
+    if (config.max_tasks_per_packet > 0) {
+      cc.max_tasks_per_packet = config.max_tasks_per_packet;
+    } else if (config.scheduler == SchedulerKind::kR2P2 ||
+               config.scheduler == SchedulerKind::kRackSched) {
+      cc.max_tasks_per_packet = 1;  // these route one RPC per packet
+    }
+    if (config.scheduler == SchedulerKind::kSparrow) {
+      cc.host_profile = baselines::SparrowConfig::Profile();
+    }
+    clients.push_back(std::make_unique<Client>(&simulator, &network, metrics.get(), cc));
+    clients.back()->SetScheduler(scheduler_nodes[c % scheduler_nodes.size()]);
+    client_ptrs.push_back(clients.back().get());
+  }
+
+  Feeder feeder(&simulator, &stream, client_ptrs);
+  feeder.Start();
+
+  // No-op throughput accounting: snapshot decision counts at the window
+  // edges (executor pulls for pull-based kinds, worker completions for
+  // push-based ones).
+  uint64_t pulls_at_warmup = 0;
+  uint64_t pulls_at_end = 0;
+  if (config.noop_executors) {
+    const auto count_decisions = [&] {
+      uint64_t total = metrics->total_node_completions();
+      for (const auto& ex : executors) {
+        total += ex->tasks_executed();
+      }
+      return total;
+    };
+    simulator.At(config.warmup, [&] { pulls_at_warmup = count_decisions(); });
+    simulator.At(horizon, [&] { pulls_at_end = count_decisions(); });
+  }
+
+  ExperimentResult result;
+
+  if (config.run_to_completion) {
+    // Poll for drain; once everything is done, drop the remaining events
+    // (idle executor polling would otherwise run forever).
+    const TimeNs poll = FromMillis(10);
+    // The closure reschedules itself, so it must live on the heap: it is
+    // still referenced by queued events long after this block's scope ends.
+    auto check = std::make_shared<std::function<void()>>();
+    *check = [&, poll, check] {
+      size_t outstanding = 0;
+      for (const auto& client : clients) {
+        outstanding += client->outstanding();
+      }
+      if (feeder.done() && outstanding == 0 && simulator.Now() > last_arrival) {
+        result.drain_time = simulator.Now();
+        simulator.Clear();
+        return;
+      }
+      simulator.After(poll, *check);
+    };
+    simulator.After(poll, *check);
+  }
+
+  simulator.RunUntil(horizon + config.drain_margin);
+
+  // --- Harvest -----------------------------------------------------------------
+  if (pipeline != nullptr) {
+    result.switch_counters = pipeline->counters();
+    result.recirculation_share = result.switch_counters.RecirculationShare();
+    result.recirc_drops = result.switch_counters.recirc_drops;
+  }
+  if (draconis_program != nullptr) {
+    result.draconis = draconis_program->counters();
+  }
+  if (r2p2_program != nullptr) {
+    result.r2p2 = r2p2_program->counters();
+  }
+  if (racksched_program != nullptr) {
+    result.racksched = racksched_program->counters();
+  }
+  if (!sparrow_schedulers.empty()) {
+    for (const auto& s : sparrow_schedulers) {
+      result.sparrow.probes_sent += s->counters().probes_sent;
+      result.sparrow.tasks_launched += s->counters().tasks_launched;
+      result.sparrow.empty_get_tasks += s->counters().empty_get_tasks;
+    }
+  }
+  if (server != nullptr) {
+    result.server = server->counters();
+  }
+
+  const size_t offered_tasks = workload::TotalTasks(stream);
+  const double stream_seconds = last_arrival > 0 ? ToSeconds(last_arrival) : 1.0;
+  result.offered_tasks_per_second = static_cast<double>(offered_tasks) / stream_seconds;
+  result.offered_utilization =
+      static_cast<double>(workload::TotalWork(stream)) /
+      (static_cast<double>(last_arrival > 0 ? last_arrival : 1) *
+       static_cast<double>(total_executors));
+  if (offered_tasks > 0) {
+    result.drop_fraction =
+        static_cast<double>(result.recirc_drops) / static_cast<double>(offered_tasks);
+  }
+
+  const double window_seconds = ToSeconds(horizon - config.warmup);
+  if (config.noop_executors) {
+    result.throughput_tps =
+        static_cast<double>(pulls_at_end - pulls_at_warmup) / window_seconds;
+  } else {
+    result.throughput_tps = metrics->CompletionThroughput();
+  }
+  result.executor_busy_fraction =
+      static_cast<double>(metrics->total_busy()) /
+      (static_cast<double>(horizon - config.warmup) * static_cast<double>(total_executors));
+
+  result.metrics = std::move(metrics);
+  return result;
+}
+
+}  // namespace draconis::cluster

@@ -1,0 +1,111 @@
+// One-call experiment harness: builds a simulated testbed (network, a
+// scheduler of the chosen kind, workers/executors, clients), replays a
+// generated job stream, and harvests metrics. Every figure-reproduction
+// bench in bench/ is a thin sweep over RunExperiment.
+
+#ifndef DRACONIS_CLUSTER_EXPERIMENT_H_
+#define DRACONIS_CLUSTER_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/central_server.h"
+#include "baselines/r2p2.h"
+#include "baselines/racksched.h"
+#include "baselines/sparrow.h"
+#include "cluster/executor.h"
+#include "cluster/metrics.h"
+#include "core/draconis_program.h"
+#include "core/policy.h"
+#include "net/network.h"
+#include "p4/pipeline.h"
+#include "workload/spec.h"
+
+namespace draconis::cluster {
+
+enum class SchedulerKind {
+  kDraconis,            // in-network scheduler on the switch model
+  kDraconisDpdkServer,  // same protocol, DPDK server
+  kDraconisSocketServer,
+  kR2P2,
+  kRackSched,
+  kSparrow,
+};
+
+const char* SchedulerKindName(SchedulerKind kind);
+
+enum class PolicyKind { kFcfs, kPriority, kResource, kLocality };
+
+struct ExperimentConfig {
+  SchedulerKind scheduler = SchedulerKind::kDraconis;
+  PolicyKind policy = PolicyKind::kFcfs;
+
+  // Cluster shape (paper testbed: 10 workers x 16 executors).
+  size_t num_workers = 10;
+  size_t executors_per_worker = 16;
+  size_t num_racks = 3;
+  size_t num_clients = 4;
+  size_t num_schedulers = 1;  // Sparrow deployments may run several
+
+  // Scheduler-specific knobs.
+  uint32_t jbsq_k = 3;                                   // R2P2
+  baselines::IntraNodePolicy racksched_intra_policy =
+      baselines::IntraNodePolicy::kFcfs;                 // RackSched (§2.2)
+  size_t priority_levels = 4;                            // Draconis priority
+  core::LocalityPolicy::Limits locality_limits{};        // Draconis locality
+  bool locality_access_model = false;                    // data-fetch penalty
+  std::vector<uint32_t> worker_resources;                // resource bitmaps
+  size_t queue_capacity = 164 * 1024;
+  bool shadow_copy_dequeue = true;  // false: the paper's §4.5 textbook dequeue
+  bool parallel_priority_stages = false;  // Tofino-2 layout (§6.1/§8.7)
+
+  // Workload and run control.
+  workload::JobStream stream;
+  TimeNs warmup = FromMillis(20);
+  TimeNs horizon = 0;            // 0: last arrival + 50 ms
+  TimeNs drain_margin = FromMillis(50);  // extra sim time past the horizon
+  bool run_to_completion = false;  // stop when all clients drain (Figs. 11/12)
+  bool noop_executors = false;     // Fig. 5b throughput mode
+  // The paper uses 2x the execution time and notes typical clients use
+  // 5-10x; 3x keeps baseline resubmission storms from dominating on our
+  // slightly slower simulated substrate.
+  double timeout_multiplier = 3.0;
+  TimeNs timeout_floor = FromMicros(50);
+  size_t max_tasks_per_packet = 0;  // 0: kind-appropriate default
+  TimeNs node_series_bucket = kSecond;
+
+  p4::PipelineConfig pipeline{};
+  net::NetworkConfig network{};
+  ExecutorConfig executor_template{};
+  uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+  std::unique_ptr<MetricsHub> metrics;
+
+  // Switch-side observability (zeroed for pure server schedulers).
+  p4::PipelineCounters switch_counters{};
+  core::DraconisCounters draconis{};
+  baselines::R2P2Counters r2p2{};
+  baselines::RackSchedCounters racksched{};
+  baselines::SparrowCounters sparrow{};
+  baselines::CentralServerCounters server{};
+
+  double recirculation_share = 0.0;  // recirculated / processed passes
+  uint64_t recirc_drops = 0;
+  double drop_fraction = 0.0;  // tasks dropped at the switch / tasks offered
+
+  double offered_tasks_per_second = 0.0;
+  double offered_utilization = 0.0;  // offered work / cluster service capacity
+  double throughput_tps = 0.0;       // completions (or no-op pulls) per second
+  double executor_busy_fraction = 0.0;
+  TimeNs drain_time = -1;  // when the last task completed (run_to_completion)
+};
+
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+}  // namespace draconis::cluster
+
+#endif  // DRACONIS_CLUSTER_EXPERIMENT_H_

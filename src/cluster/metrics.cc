@@ -1,0 +1,116 @@
+#include "cluster/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace draconis::cluster {
+
+MetricsHub::MetricsHub(TimeNs measure_start, TimeNs measure_end, size_t num_nodes,
+                       size_t priority_levels, TimeNs node_series_bucket)
+    : measure_start_(measure_start), measure_end_(measure_end) {
+  DRACONIS_CHECK(measure_start >= 0 && measure_end > measure_start);
+  priority_queueing_.resize(priority_levels);
+  priority_get_task_.resize(priority_levels);
+  node_completions_.reserve(num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    node_completions_.emplace_back(node_series_bucket);
+  }
+}
+
+bool MetricsHub::FirstExecution(const net::TaskId& id) { return executed_.insert(id).second; }
+
+void MetricsHub::RecordExecutionStart(const net::TaskInfo& task, TimeNs exec_start) {
+  if (!InWindow(task.meta.first_submit_time)) {
+    return;
+  }
+  sched_delay_.Record(std::max<TimeNs>(0, exec_start - task.meta.first_submit_time));
+}
+
+void MetricsHub::RecordAssignment(const net::TaskInfo& task, TimeNs assign_time) {
+  if (!InWindow(task.meta.first_submit_time) || task.meta.enqueue_time < 0) {
+    return;
+  }
+  const TimeNs delay = std::max<TimeNs>(0, assign_time - task.meta.enqueue_time);
+  queueing_delay_.Record(delay);
+  if (!priority_queueing_.empty()) {
+    const size_t level =
+        std::clamp<size_t>(task.tprops, 1, priority_queueing_.size());
+    priority_queueing_[level - 1].Record(delay);
+  }
+}
+
+void MetricsHub::RecordGetTask(uint32_t priority_level, TimeNs delay) {
+  get_task_delay_.Record(std::max<TimeNs>(0, delay));
+  if (!priority_get_task_.empty()) {
+    const size_t level = std::clamp<size_t>(priority_level, 1, priority_get_task_.size());
+    priority_get_task_[level - 1].Record(std::max<TimeNs>(0, delay));
+  }
+}
+
+void MetricsHub::RecordPlacement(net::TaskInfo::Placement placement) {
+  const auto index = static_cast<size_t>(placement);
+  if (index < 3) {
+    ++placement_counts_[index];
+  }
+}
+
+void MetricsHub::RecordNodeCompletion(uint32_t worker_node, TimeNs at) {
+  ++total_node_completions_;
+  if (worker_node < node_completions_.size()) {
+    node_completions_[worker_node].Record(at);
+  }
+}
+
+void MetricsHub::RecordEndToEnd(const net::TaskInfo& task, TimeNs completion_time) {
+  if (!InWindow(task.meta.first_submit_time)) {
+    return;
+  }
+  e2e_delay_.Record(std::max<TimeNs>(0, completion_time - task.meta.first_submit_time));
+}
+
+void MetricsHub::RecordSubmission(TimeNs first_submit) {
+  if (InWindow(first_submit)) {
+    ++tasks_submitted_;
+  }
+}
+
+void MetricsHub::RecordTimeoutResubmission() { ++timeout_resubmissions_; }
+
+void MetricsHub::RecordQueueFullRetry() { ++queue_full_retries_; }
+
+void MetricsHub::RecordBusyInterval(TimeNs start, TimeNs end) {
+  // Clamp the busy interval to the measurement window.
+  const TimeNs lo = std::max(start, measure_start_);
+  const TimeNs hi = std::min(end, measure_end_);
+  if (hi > lo) {
+    total_busy_ += hi - lo;
+  }
+}
+
+const stats::Histogram& MetricsHub::priority_queueing(size_t level_1based) const {
+  DRACONIS_CHECK(level_1based >= 1 && level_1based <= priority_queueing_.size());
+  return priority_queueing_[level_1based - 1];
+}
+
+const stats::Histogram& MetricsHub::priority_get_task(size_t level_1based) const {
+  DRACONIS_CHECK(level_1based >= 1 && level_1based <= priority_get_task_.size());
+  return priority_get_task_[level_1based - 1];
+}
+
+const stats::TimeSeries& MetricsHub::node_completions(uint32_t node) const {
+  DRACONIS_CHECK(node < node_completions_.size());
+  return node_completions_[node];
+}
+
+uint64_t MetricsHub::placements(net::TaskInfo::Placement p) const {
+  const auto index = static_cast<size_t>(p);
+  return index < 3 ? placement_counts_[index] : 0;
+}
+
+double MetricsHub::CompletionThroughput() const {
+  const double window = ToSeconds(measure_end_ - measure_start_);
+  return window > 0.0 ? static_cast<double>(tasks_completed()) / window : 0.0;
+}
+
+}  // namespace draconis::cluster

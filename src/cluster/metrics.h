@@ -1,0 +1,117 @@
+// Shared measurement sink for a simulation run.
+//
+// Executors, workers, and clients record into one MetricsHub. Recording is
+// filtered by the measurement window: only tasks whose *first* submission
+// falls inside [measure_start, measure_end) count, which excludes warmup and
+// draining artifacts. Delay definitions follow DESIGN.md §5.
+
+#ifndef DRACONIS_CLUSTER_METRICS_H_
+#define DRACONIS_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+#include "net/packet.h"
+#include "stats/histogram.h"
+#include "stats/timeseries.h"
+
+namespace draconis::cluster {
+
+class MetricsHub {
+ public:
+  // `num_nodes` sizes the per-node completion time series (Fig. 11);
+  // `priority_levels` > 0 enables per-priority histograms (Figs. 12, 13).
+  MetricsHub(TimeNs measure_start, TimeNs measure_end, size_t num_nodes = 0,
+             size_t priority_levels = 0,
+             TimeNs node_series_bucket = kSecond);
+
+  bool InWindow(TimeNs first_submit) const {
+    return first_submit >= measure_start_ && first_submit < measure_end_;
+  }
+
+  TimeNs measure_start() const { return measure_start_; }
+  TimeNs measure_end() const { return measure_end_; }
+
+  // --- Recording (no-ops when the task is outside the window) --------------
+
+  // True the first time a task id reaches an executor. Timeout resubmissions
+  // can execute a task twice; only the first execution is measured, matching
+  // what the client observes (it counts the first completion).
+  bool FirstExecution(const net::TaskId& id);
+
+  // Called by an executor when a task begins service.
+  void RecordExecutionStart(const net::TaskInfo& task, TimeNs exec_start);
+
+  // Called by an executor when an assignment arrives (queueing delay).
+  void RecordAssignment(const net::TaskInfo& task, TimeNs assign_time);
+
+  // Request -> assignment latency at the executor, bucketed by the assigned
+  // task's priority level when priorities are tracked.
+  void RecordGetTask(uint32_t priority_level, TimeNs delay);
+
+  void RecordPlacement(net::TaskInfo::Placement placement);
+
+  // Called by an executor when a task finishes, attributed to its worker node.
+  void RecordNodeCompletion(uint32_t worker_node, TimeNs at);
+
+  // Called by the client when the completion notice arrives.
+  void RecordEndToEnd(const net::TaskInfo& task, TimeNs completion_time);
+
+  void RecordSubmission(TimeNs first_submit);
+  void RecordTimeoutResubmission();
+  void RecordQueueFullRetry();
+
+  // Executor busy-time accounting for the CPU-efficiency analysis (§3.1).
+  void RecordBusyInterval(TimeNs start, TimeNs end);
+
+  // --- Results --------------------------------------------------------------
+
+  const stats::Histogram& sched_delay() const { return sched_delay_; }
+  const stats::Histogram& queueing_delay() const { return queueing_delay_; }
+  const stats::Histogram& e2e_delay() const { return e2e_delay_; }
+  const stats::Histogram& get_task_delay() const { return get_task_delay_; }
+  const stats::Histogram& priority_queueing(size_t level_1based) const;
+  const stats::Histogram& priority_get_task(size_t level_1based) const;
+  const stats::TimeSeries& node_completions(uint32_t node) const;
+  size_t num_nodes() const { return node_completions_.size(); }
+  // Total executions finished across all workers (counted regardless of the
+  // measurement window; used by throughput benches to delta across it).
+  uint64_t total_node_completions() const { return total_node_completions_; }
+  size_t priority_levels() const { return priority_queueing_.size(); }
+
+  uint64_t placements(net::TaskInfo::Placement p) const;
+  uint64_t tasks_submitted() const { return tasks_submitted_; }
+  uint64_t tasks_completed() const { return e2e_delay_.count(); }
+  uint64_t timeout_resubmissions() const { return timeout_resubmissions_; }
+  uint64_t queue_full_retries() const { return queue_full_retries_; }
+  TimeNs total_busy() const { return total_busy_; }
+
+  // Completed tasks per second of measurement window.
+  double CompletionThroughput() const;
+
+ private:
+  TimeNs measure_start_;
+  TimeNs measure_end_;
+
+  stats::Histogram sched_delay_;
+  stats::Histogram queueing_delay_;
+  stats::Histogram e2e_delay_;
+  stats::Histogram get_task_delay_;
+  std::vector<stats::Histogram> priority_queueing_;
+  std::vector<stats::Histogram> priority_get_task_;
+  std::vector<stats::TimeSeries> node_completions_;
+
+  std::unordered_set<net::TaskId, net::TaskIdHash> executed_;
+  uint64_t total_node_completions_ = 0;
+  uint64_t placement_counts_[3] = {0, 0, 0};
+  uint64_t tasks_submitted_ = 0;
+  uint64_t timeout_resubmissions_ = 0;
+  uint64_t queue_full_retries_ = 0;
+  TimeNs total_busy_ = 0;
+};
+
+}  // namespace draconis::cluster
+
+#endif  // DRACONIS_CLUSTER_METRICS_H_

@@ -1,0 +1,24 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace draconis {
+
+std::string FormatDuration(TimeNs t) {
+  const bool negative = t < 0;
+  const double abs_ns = std::fabs(static_cast<double>(t));
+  char buf[48];
+  if (abs_ns < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%s%.0fns", negative ? "-" : "", abs_ns);
+  } else if (abs_ns < 1000.0 * kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fus", negative ? "-" : "", abs_ns / kMicrosecond);
+  } else if (abs_ns < 1000.0 * kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fms", negative ? "-" : "", abs_ns / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", negative ? "-" : "", abs_ns / kSecond);
+  }
+  return buf;
+}
+
+}  // namespace draconis

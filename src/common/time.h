@@ -1,0 +1,37 @@
+// Simulated-time primitives.
+//
+// All simulated time in this project is an absolute number of nanoseconds
+// since the start of the simulation, held in a signed 64-bit integer. A
+// signed representation makes interval arithmetic (deltas, comparisons with
+// subtraction) safe without casts. 2^63 ns is ~292 years, far beyond any run.
+
+#ifndef DRACONIS_COMMON_TIME_H_
+#define DRACONIS_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace draconis {
+
+// Absolute simulated time or a duration, in nanoseconds.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1000;
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+
+constexpr double ToMicros(TimeNs t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double ToMillis(TimeNs t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / kSecond; }
+
+constexpr TimeNs FromMicros(double us) { return static_cast<TimeNs>(us * kMicrosecond); }
+constexpr TimeNs FromMillis(double ms) { return static_cast<TimeNs>(ms * kMillisecond); }
+constexpr TimeNs FromSeconds(double s) { return static_cast<TimeNs>(s * kSecond); }
+
+// Renders a duration with an adaptive unit, e.g. "4.7us", "1.35ms", "2.1s".
+std::string FormatDuration(TimeNs t);
+
+}  // namespace draconis
+
+#endif  // DRACONIS_COMMON_TIME_H_

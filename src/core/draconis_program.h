@@ -1,0 +1,102 @@
+// The Draconis switch program (paper §4–§6): the packet-processing logic that
+// turns the circular queue + a scheduling policy into an in-network
+// scheduler. One instance is installed into a p4::SwitchPipeline.
+//
+// Packet handling per opcode:
+//   job_submission  enqueue the first task; recirculate for the rest (§4.3);
+//                   trigger pointer repairs (§4.5); error to client when full.
+//   task_request    dequeue and policy-check; assign, start a swap walk
+//                   (§5.1), probe the next priority queue (§6.1), or no-op.
+//   task_completion forward the completion to the client and treat the rest
+//                   of the packet as a piggybacked task_request (§3.1).
+//   swap_task       continue a task-swapping walk.
+//   repair          apply a pointer correction and clear the repair flag.
+//   anything else   forwarded unchanged: Draconis is colocation-safe (§4.1).
+
+#ifndef DRACONIS_CORE_DRACONIS_PROGRAM_H_
+#define DRACONIS_CORE_DRACONIS_PROGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/switch_queue.h"
+#include "p4/pipeline.h"
+#include "p4/register.h"
+
+namespace draconis::core {
+
+struct DraconisConfig {
+  // Entries per class-of-service queue. The paper's Tofino-1 deployment
+  // supports 164 K entries (§7).
+  size_t queue_capacity = 164 * 1024;
+  // Production shadow-copy dequeue vs the paper's textbook overrun-and-
+  // repair dequeue (see switch_queue.h; false is kept for tests and the
+  // design-choice ablation).
+  bool shadow_copy_dequeue = true;
+  // §6.1/§8.7: "newer switches ... can house each task queue in separate
+  // stages, eliminating the need for packet recirculation". When set, a
+  // task_request probes every priority level within one pass (each level's
+  // queue is its own register set, so the one-access rule still holds; the
+  // shadow-copy dequeue makes the speculative probes of empty levels free).
+  // Requires shadow_copy_dequeue.
+  bool parallel_priority_stages = false;
+};
+
+struct DraconisCounters {
+  uint64_t tasks_enqueued = 0;
+  uint64_t tasks_assigned = 0;
+  uint64_t noops_sent = 0;
+  uint64_t queue_full_errors = 0;
+  uint64_t acks_sent = 0;
+  uint64_t add_repairs = 0;
+  uint64_t retrieve_repairs = 0;
+  uint64_t swap_walks_started = 0;
+  uint64_t swap_exchanges = 0;
+  uint64_t swap_requeues = 0;  // walks that ended by re-enqueueing the task
+  uint64_t priority_probes = 0;  // task_request recirculations across levels
+};
+
+class DraconisProgram : public p4::SwitchProgram {
+ public:
+  // `policy` must outlive the program. `ledger` (optional) accounts register
+  // memory.
+  DraconisProgram(SchedulingPolicy* policy, const DraconisConfig& config,
+                  p4::ResourceLedger* ledger = nullptr);
+
+  void OnPass(p4::PassContext& ctx, net::Packet pkt) override;
+
+  const DraconisCounters& counters() const { return counters_; }
+  const SwitchQueue& queue(size_t i) const { return *queues_[i]; }
+  size_t num_queues() const { return queues_.size(); }
+  SchedulingPolicy* policy() const { return policy_; }
+
+ private:
+  void HandleSubmission(p4::PassContext& ctx, net::Packet pkt);
+  void HandleTaskRequest(p4::PassContext& ctx, net::Packet pkt);
+  void HandleSwap(p4::PassContext& ctx, net::Packet pkt);
+  void HandleRepair(p4::PassContext& ctx, net::Packet pkt);
+
+  // Emits a task_assignment for `entry` to the executor at `executor`.
+  void Assign(p4::PassContext& ctx, const QueueEntry& entry, net::NodeId executor);
+
+  // Emits a no-op task to the executor.
+  void SendNoOp(p4::PassContext& ctx, net::NodeId executor);
+
+  // Converts a finished swap walk back into a (non-acked) job_submission and
+  // notifies the executor with a no-op (§5.1 last paragraph).
+  void RequeueCarriedTask(p4::PassContext& ctx, net::Packet pkt);
+
+  // Recirculates a pointer-repair packet for queue `q`.
+  void LaunchRepair(p4::PassContext& ctx, size_t q, net::RepairTarget target, uint64_t value);
+
+  SchedulingPolicy* policy_;
+  bool parallel_priority_stages_;
+  std::vector<std::unique_ptr<SwitchQueue>> queues_;
+  DraconisCounters counters_;
+};
+
+}  // namespace draconis::core
+
+#endif  // DRACONIS_CORE_DRACONIS_PROGRAM_H_

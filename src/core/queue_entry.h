@@ -1,0 +1,27 @@
+// One entry of the switch-resident task queue (paper §4.2): the TASK_INFO of
+// a queued task, the submitting client's identity, the locality skip counter
+// (§5.3), and a validity flag used to detect dequeue-on-empty mistakes.
+
+#ifndef DRACONIS_CORE_QUEUE_ENTRY_H_
+#define DRACONIS_CORE_QUEUE_ENTRY_H_
+
+#include <cstdint>
+
+#include "net/packet.h"
+
+namespace draconis::core {
+
+struct QueueEntry {
+  net::TaskInfo task;
+  net::NodeId client = net::kInvalidNode;
+  uint32_t skip_counter = 0;
+  bool valid = false;
+
+  // Hardware footprint: TASK_INFO + client IP/port (6 B) + skip counter and
+  // valid bit packed into 4 B.
+  static constexpr size_t kWireSize = net::TaskInfo::kWireSize + 6 + 4;
+};
+
+}  // namespace draconis::core
+
+#endif  // DRACONIS_CORE_QUEUE_ENTRY_H_

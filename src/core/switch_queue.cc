@@ -1,0 +1,204 @@
+#include "core/switch_queue.h"
+
+#include "common/check.h"
+
+namespace draconis::core {
+
+SwitchQueue::SwitchQueue(const std::string& name, size_t capacity, p4::ResourceLedger* ledger,
+                         bool shadow_copy_dequeue)
+    : capacity_(capacity),
+      shadow_copy_dequeue_(shadow_copy_dequeue),
+      add_ptr_(name + ".add_ptr", 1, 0, ledger, 8),
+      add_shadow_(name + ".add_shadow", 1, 0, ledger, 8),
+      retrieve_ptr_(name + ".retrieve_ptr", 1, 0, ledger, 8),
+      repair_state_(name + ".repair_state", 1, RepairState{}, ledger, RepairState::kWireSize),
+      entries_(name + ".entries", capacity, QueueEntry{}, ledger, QueueEntry::kWireSize) {
+  DRACONIS_CHECK_MSG(capacity > 0, "queue capacity must be positive");
+}
+
+SwitchQueue::EnqueueResult SwitchQueue::Enqueue(p4::PacketPass& pass, const QueueEntry& entry) {
+  DRACONIS_CHECK_MSG(entry.valid, "cannot enqueue an invalid entry");
+  EnqueueResult result;
+
+  // Stage 1: optimistic read-and-increment of add_ptr — the only access to
+  // that register this pass, so fullness cannot be checked first.
+  const uint64_t old_add = add_ptr_.ReadAndAdd(pass, 0, 1);
+  const uint64_t rptr = retrieve_ptr_.Read(pass, 0);
+
+  // retrieve_ptr may legitimately exceed add_ptr after dequeues on an empty
+  // queue (§4.5), and stays garbage until the repair lands.
+  const bool overrun = rptr > old_add;
+
+  // Stage 3: one atomic pass over the repair state decides the outcome.
+  //   - A pending add repair means add_ptr is inflated: refuse (the repair
+  //     in flight covers our mistaken increment too).
+  //   - Fullness is judged against the best available retrieve value: the
+  //     raw pointer normally, the published repair target (hint) while a
+  //     retrieve repair is in flight, or our own slot when we are the
+  //     overrun detector (the overrun means the queue is empty right now).
+  //     A genuinely full queue sets the add-pending bit; the setter owns the
+  //     add repair (§4.7.1).
+  //   - An undetected overrun makes this submission the detector: it may
+  //     write (the queue is empty) and owns the retrieve repair, publishing
+  //     its slot as the hint (§4.5).
+  enum class Outcome { kWrite, kWriteOwnRetrieveRepair, kRefuseQuiet, kRefuseOwnAddRepair };
+  Outcome outcome = Outcome::kWrite;
+  repair_state_.Update(pass, 0, [&](RepairState state) {
+    uint64_t effective_rptr;
+    if (state.retrieve_pending) {
+      effective_rptr = state.hint;
+    } else if (overrun) {
+      effective_rptr = old_add;
+    } else {
+      effective_rptr = rptr;
+    }
+    const bool full =
+        static_cast<int64_t>(old_add - effective_rptr) >= static_cast<int64_t>(capacity_);
+
+    if (state.add_pending) {
+      outcome = Outcome::kRefuseQuiet;
+    } else if (full) {
+      state.add_pending = true;
+      outcome = Outcome::kRefuseOwnAddRepair;
+    } else if (overrun && !state.retrieve_pending) {
+      state.retrieve_pending = true;
+      state.hint = old_add;
+      outcome = Outcome::kWriteOwnRetrieveRepair;
+    }
+    return state;
+  });
+
+  if (outcome == Outcome::kRefuseQuiet) {
+    return result;
+  }
+  if (outcome == Outcome::kRefuseOwnAddRepair) {
+    result.need_add_repair = true;
+    result.add_repair_value = old_add;
+    return result;
+  }
+
+  // Stage 5: write the task into its slot, then publish the new add pointer
+  // to the shadow register the dequeue path conditions on. (The shadow is
+  // written only on successful adds, so a full-queue mistake never inflates
+  // it.)
+  entries_.Write(pass, old_add % capacity_, entry);
+  if (shadow_copy_dequeue_) {
+    add_shadow_.Write(pass, 0, old_add + 1);
+  }
+  result.added = true;
+  result.slot = old_add;
+
+  // §4.5: the task we just wrote sits behind the overrun retrieve pointer
+  // and would never be scheduled; snap retrieve_ptr back to it via a repair
+  // packet (we own the repair: we set the pending bit above).
+  if (outcome == Outcome::kWriteOwnRetrieveRepair) {
+    result.need_retrieve_repair = true;
+    result.retrieve_repair_value = old_add;
+  }
+  return result;
+}
+
+SwitchQueue::DequeueResult SwitchQueue::Dequeue(p4::PacketPass& pass) {
+  DequeueResult result;
+
+  // §4.7.2: a pending retrieve repair means retrieve_ptr is currently
+  // meaningless; answer no-op and let the repair land. (This state read is an
+  // earlier stage than the pointer, so the shadow-mode dequeue can predicate
+  // the pointer access on it.)
+  if (repair_state_.Read(pass, 0).retrieve_pending) {
+    result.repair_pending = true;
+    if (!shadow_copy_dequeue_) {
+      // The textbook pipeline already incremented the pointer in stage 1;
+      // model that by taking the access anyway.
+      result.slot = retrieve_ptr_.ReadAndAdd(pass, 0, 1);
+    }
+    return result;
+  }
+
+  uint64_t old_r;
+  if (shadow_copy_dequeue_) {
+    // Production dequeue: increment only while retrieve_ptr trails the
+    // shadow add pointer, so polling an empty queue never over-runs.
+    const uint64_t limit = add_shadow_.Read(pass, 0);
+    if (limit == 0) {
+      return result;  // nothing ever enqueued
+    }
+    const auto [old_value, claimed] = retrieve_ptr_.AddIfAtMost(pass, 0, limit - 1, 1);
+    if (!claimed) {
+      return result;  // empty: no mistake made, no repair needed
+    }
+    old_r = old_value;
+  } else {
+    // Textbook §4.2/§4.5 dequeue: optimistic read-and-increment; an invalid
+    // slot below means the increment was a mistake, repaired by the next
+    // enqueue.
+    old_r = retrieve_ptr_.ReadAndAdd(pass, 0, 1);
+  }
+  result.slot = old_r;
+
+  // Read the slot and clear it in one atomic exchange. Clearing is what
+  // makes a dequeue-on-empty detectable (the stale entry's valid flag would
+  // otherwise cause a double dispatch after pointer wraparound).
+  QueueEntry taken = entries_.Exchange(pass, old_r % capacity_, QueueEntry{});
+  if (taken.valid) {
+    result.got_task = true;
+    result.entry = std::move(taken);
+  }
+  return result;
+}
+
+SwitchQueue::SwapResult SwitchQueue::SwapAt(p4::PacketPass& pass, uint64_t pkt_retrieve_ptr,
+                                            uint64_t swap_indx, const QueueEntry& incoming) {
+  DRACONIS_CHECK_MSG(incoming.valid, "cannot swap in an invalid entry");
+  SwapResult result;
+
+  // Read-only views of both pointers (a swap pass never moves them).
+  const uint64_t cur_r = retrieve_ptr_.Read(pass, 0);
+  const uint64_t cur_add = add_ptr_.Read(pass, 0);
+  result.head = cur_r;
+
+  // Staleness rule (§5.1): if the retrieve pointer advanced past the value
+  // recorded in the packet, the walk's target may already have been passed
+  // over; swapping there would strand the carried task. Swap with the head
+  // instead.
+  const uint64_t target = (pkt_retrieve_ptr < cur_r) ? cur_r : swap_indx;
+
+  if (target >= cur_add) {
+    result.past_end = true;
+    return result;
+  }
+
+  QueueEntry previous = entries_.Exchange(pass, target % capacity_, incoming);
+  result.slot = target;
+  if (previous.valid) {
+    result.swapped = true;
+    result.previous = std::move(previous);
+  }
+  // !previous.valid is a defensive corner: the carried task is now stored in
+  // a retrievable slot, so the caller just ends the walk.
+  return result;
+}
+
+void SwitchQueue::ApplyRepair(p4::PacketPass& pass, net::RepairTarget target, uint64_t value) {
+  if (target == net::RepairTarget::kAddPtr) {
+    add_ptr_.Write(pass, 0, value);
+    repair_state_.Update(pass, 0, [](RepairState state) {
+      state.add_pending = false;
+      return state;
+    });
+  } else {
+    retrieve_ptr_.Write(pass, 0, value);
+    repair_state_.Update(pass, 0, [](RepairState state) {
+      state.retrieve_pending = false;
+      return state;
+    });
+  }
+}
+
+uint64_t SwitchQueue::cp_occupancy() const {
+  const uint64_t add = cp_add_ptr();
+  const uint64_t rptr = cp_retrieve_ptr();
+  return add > rptr ? add - rptr : 0;
+}
+
+}  // namespace draconis::core

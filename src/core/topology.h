@@ -1,0 +1,54 @@
+// Cluster topology: the worker-node -> rack mapping used by the
+// locality-aware policy (paper §5.3) and by the data-access latency model in
+// the executors. On the real system this mapping is a match-action table
+// installed by the network controller.
+
+#ifndef DRACONIS_CORE_TOPOLOGY_H_
+#define DRACONIS_CORE_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace draconis::core {
+
+class Topology {
+ public:
+  explicit Topology(std::vector<uint32_t> rack_of_node)
+      : rack_of_node_(std::move(rack_of_node)) {}
+
+  // num_nodes workers spread round-robin across num_racks racks.
+  static Topology Uniform(size_t num_nodes, size_t num_racks) {
+    DRACONIS_CHECK(num_racks > 0);
+    std::vector<uint32_t> map(num_nodes);
+    for (size_t n = 0; n < num_nodes; ++n) {
+      map[n] = static_cast<uint32_t>(n % num_racks);
+    }
+    return Topology(std::move(map));
+  }
+
+  uint32_t RackOf(uint32_t node) const {
+    DRACONIS_CHECK_MSG(node < rack_of_node_.size(), "unknown worker node");
+    return rack_of_node_[node];
+  }
+
+  bool SameRack(uint32_t a, uint32_t b) const { return RackOf(a) == RackOf(b); }
+
+  size_t num_nodes() const { return rack_of_node_.size(); }
+
+  size_t num_racks() const {
+    uint32_t max_rack = 0;
+    for (uint32_t r : rack_of_node_) {
+      max_rack = r > max_rack ? r : max_rack;
+    }
+    return rack_of_node_.empty() ? 0 : max_rack + 1;
+  }
+
+ private:
+  std::vector<uint32_t> rack_of_node_;
+};
+
+}  // namespace draconis::core
+
+#endif  // DRACONIS_CORE_TOPOLOGY_H_

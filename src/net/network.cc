@@ -1,0 +1,97 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace draconis::net {
+
+namespace {
+uint64_t PairKey(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+}  // namespace
+
+Network::Network(sim::Simulator* simulator, const NetworkConfig& config)
+    : simulator_(simulator), config_(config), rng_(config.seed) {
+  DRACONIS_CHECK(simulator != nullptr);
+}
+
+NodeId Network::Register(Endpoint* endpoint, const HostProfile& profile) {
+  DRACONIS_CHECK(endpoint != nullptr);
+  hosts_.push_back(Host{endpoint, profile, 0});
+  return static_cast<NodeId>(hosts_.size() - 1);
+}
+
+void Network::Send(NodeId from, Packet pkt) {
+  DRACONIS_CHECK_MSG(from < hosts_.size(), "unknown sender");
+  DRACONIS_CHECK_MSG(pkt.dst < hosts_.size(), "unknown destination");
+  pkt.src = from;
+  if (pkt.created_at < 0) {
+    pkt.created_at = simulator_->Now();
+  }
+
+  if (hosts_[from].disconnected || hosts_[pkt.dst].disconnected) {
+    ++packets_dropped_;
+    return;
+  }
+  if (!drop_rules_.empty()) {
+    auto it = drop_rules_.find(PairKey(from, pkt.dst));
+    if (it != drop_rules_.end() && rng_.NextBool(it->second)) {
+      ++packets_dropped_;
+      return;
+    }
+  }
+
+  Host& tx = hosts_[from];
+
+  // Transmit-side CPU occupancy: the sender's core serializes its sends.
+  const TimeNs now = simulator_->Now();
+  tx.busy_until = std::max(tx.busy_until, now) + tx.profile.tx_cost;
+  const TimeNs departs = tx.busy_until;
+
+  const int hops = (from == switch_node_ || pkt.dst == switch_node_) ? 1 : 2;
+  const auto serialization =
+      static_cast<TimeNs>(config_.ns_per_byte * static_cast<double>(pkt.WireSize()));
+  const TimeNs jitter =
+      config_.max_jitter > 0 ? static_cast<TimeNs>(rng_.NextBelow(config_.max_jitter)) : 0;
+  const TimeNs arrives = departs + hops * config_.propagation + serialization + jitter;
+
+  // Receive-side CPU occupancy plus stack latency.
+  const NodeId dst = pkt.dst;
+  simulator_->At(arrives, [this, dst, pkt = std::move(pkt)]() mutable {
+    Host& host = hosts_[dst];
+    const TimeNs now_rx = simulator_->Now();
+    host.busy_until = std::max(host.busy_until, now_rx) + host.profile.rx_cost;
+    const TimeNs deliver_at = host.busy_until + host.profile.stack_latency;
+    ++packets_delivered_;
+    simulator_->At(deliver_at, [this, dst, pkt = std::move(pkt)]() mutable {
+      hosts_[dst].endpoint->HandlePacket(std::move(pkt));
+    });
+  });
+}
+
+void Network::InjectDrop(NodeId from, NodeId to, double probability) {
+  DRACONIS_CHECK(probability >= 0.0 && probability <= 1.0);
+  drop_rules_[PairKey(from, to)] = probability;
+}
+
+void Network::ClearDropRules() { drop_rules_.clear(); }
+
+void Network::Disconnect(NodeId node) {
+  DRACONIS_CHECK(node < hosts_.size());
+  hosts_[node].disconnected = true;
+}
+
+void Network::Reconnect(NodeId node) {
+  DRACONIS_CHECK(node < hosts_.size());
+  hosts_[node].disconnected = false;
+}
+
+bool Network::IsDisconnected(NodeId node) const {
+  DRACONIS_CHECK(node < hosts_.size());
+  return hosts_[node].disconnected;
+}
+
+}  // namespace draconis::net

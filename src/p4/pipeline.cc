@@ -1,0 +1,91 @@
+#include "p4/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace draconis::p4 {
+
+TimeNs PassContext::Now() const { return pipeline_->simulator_->Now(); }
+
+net::NodeId PassContext::SwitchNode() const { return pipeline_->node_id_; }
+
+void PassContext::Emit(net::Packet pkt) { pipeline_->EmitFromPass(std::move(pkt)); }
+
+void PassContext::Recirculate(net::Packet pkt, bool guaranteed) {
+  pipeline_->RecirculateFromPass(std::move(pkt), guaranteed);
+}
+
+void PassContext::Drop(const net::Packet& pkt, const std::string& reason) {
+  pipeline_->DropFromPass(pkt, reason);
+}
+
+SwitchPipeline::SwitchPipeline(sim::Simulator* simulator, SwitchProgram* program,
+                               const PipelineConfig& config)
+    : simulator_(simulator), program_(program), config_(config) {
+  DRACONIS_CHECK(simulator != nullptr && program != nullptr);
+  DRACONIS_CHECK(config.recirc_rate_pps > 0.0);
+  recirc_interval_ = std::max<TimeNs>(1, static_cast<TimeNs>(kSecond / config.recirc_rate_pps));
+}
+
+net::NodeId SwitchPipeline::AttachNetwork(net::Network* network) {
+  DRACONIS_CHECK(network != nullptr);
+  network_ = network;
+  node_id_ = network->Register(this, net::HostProfile::Wire());
+  network->SetSwitchNode(node_id_);
+  return node_id_;
+}
+
+void SwitchPipeline::HandlePacket(net::Packet pkt) {
+  ++counters_.packets_in;
+  const uint32_t pass_number = pkt.pipeline_passes;
+  RunPass(std::move(pkt), pass_number);
+}
+
+void SwitchPipeline::RunPass(net::Packet pkt, uint32_t pass_number) {
+  ++counters_.passes;
+  if (pass_number > 0) {
+    ++counters_.recirculations;
+  }
+  PassContext ctx(this, pass_number);
+  program_->OnPass(ctx, std::move(pkt));
+}
+
+void SwitchPipeline::EmitFromPass(net::Packet pkt) {
+  ++counters_.emitted;
+  DRACONIS_CHECK_MSG(network_ != nullptr, "pipeline not attached to a network");
+  // Egress after the remaining pipeline traversal time.
+  auto* network = network_;
+  const net::NodeId self = node_id_;
+  simulator_->After(config_.pass_latency,
+                    [network, self, pkt = std::move(pkt)]() mutable {
+                      network->Send(self, std::move(pkt));
+                    });
+}
+
+void SwitchPipeline::RecirculateFromPass(net::Packet pkt, bool guaranteed) {
+  const TimeNs now = simulator_->Now();
+  // Backlog check: how many packets are queued at the loopback port right
+  // now. The port serves one packet every recirc_interval_.
+  const TimeNs start = std::max(recirc_next_free_, now);
+  const auto backlog = static_cast<size_t>((start - now) / recirc_interval_);
+  if (backlog >= config_.recirc_queue_depth && !guaranteed) {
+    ++counters_.recirc_drops;
+    return;
+  }
+  recirc_next_free_ = start + recirc_interval_;
+  pkt.pipeline_passes += 1;
+  const uint32_t next_pass = pkt.pipeline_passes;
+  simulator_->At(start + config_.recirc_latency,
+                 [this, next_pass, pkt = std::move(pkt)]() mutable {
+                   RunPass(std::move(pkt), next_pass);
+                 });
+}
+
+void SwitchPipeline::DropFromPass(const net::Packet& pkt, const std::string& reason) {
+  (void)pkt;
+  ++counters_.program_drops[reason];
+}
+
+}  // namespace draconis::p4

@@ -1,0 +1,158 @@
+// Switch pipeline model.
+//
+// A SwitchPipeline is the network endpoint standing in for the Tofino data
+// plane. Packets delivered to it traverse the match-action pipeline: the
+// installed SwitchProgram runs once per pass, operating on registers under
+// the single-access rule and emitting actions (forward, recirculate, drop).
+//
+// Timing model:
+//   - A pass takes `pass_latency` from ingress to egress (the paper measures
+//     sub-microsecond pipeline traversal).
+//   - The front-panel packet rate is astronomically high (4.7 B pps on the
+//     paper's switch) and is not modeled as a bottleneck.
+//   - Recirculation goes through a loopback port with a *bounded* service
+//     rate and queue. When the recirculation port is saturated, packets are
+//     dropped — this is the mechanism behind R2P2-1's task drops in the
+//     paper's Fig. 7/8 and the reason Draconis uses recirculation sparingly.
+
+#ifndef DRACONIS_P4_PIPELINE_H_
+#define DRACONIS_P4_PIPELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/time.h"
+#include "net/network.h"
+#include "net/packet.h"
+#include "p4/register.h"
+#include "sim/simulator.h"
+
+namespace draconis::p4 {
+
+class SwitchPipeline;
+
+// Handed to the program on every pass; carries the action interface and the
+// register-access guard.
+class PassContext {
+ public:
+  // Simulated time at which this pass entered the ingress pipeline.
+  TimeNs Now() const;
+
+  // How many times this packet has traversed the pipeline before (0 for a
+  // fresh packet).
+  uint32_t pass_number() const { return pass_number_; }
+
+  // The switch's own fabric address (for programs that plain-forward other
+  // traffic: a packet addressed to the switch itself has nowhere to go).
+  net::NodeId SwitchNode() const;
+
+  // Sends `pkt` out of the switch toward pkt.dst (after the pipeline delay).
+  void Emit(net::Packet pkt);
+
+  // Feeds `pkt` back through the loopback port for another pass. May drop the
+  // packet if the recirculation port is saturated, unless `guaranteed` is set
+  // (used for pointer-repair packets, which ride the port's high-priority
+  // class: losing one would wedge the queue).
+  void Recirculate(net::Packet pkt, bool guaranteed = false);
+
+  // Discards the packet, counting the reason.
+  void Drop(const net::Packet& pkt, const std::string& reason);
+
+  // The register-access guard for this pass.
+  PacketPass& registers() { return registers_; }
+
+ private:
+  friend class SwitchPipeline;
+  PassContext(SwitchPipeline* pipeline, uint32_t pass_number)
+      : pipeline_(pipeline), pass_number_(pass_number) {}
+
+  SwitchPipeline* pipeline_;
+  uint32_t pass_number_;
+  PacketPass registers_;
+};
+
+// A P4 program: invoked once per pipeline pass.
+class SwitchProgram {
+ public:
+  virtual ~SwitchProgram() = default;
+
+  // Process one traversal of `pkt`. The implementation must finish the packet
+  // by calling exactly one of ctx.Emit / ctx.Recirculate / ctx.Drop (it may
+  // additionally Emit cloned packets, mirroring the hardware's packet-clone
+  // capability).
+  virtual void OnPass(PassContext& ctx, net::Packet pkt) = 0;
+};
+
+struct PipelineConfig {
+  TimeNs pass_latency = TimeNs{450};
+  // Extra latency for one trip through the loopback port (paper §8.7:
+  // "recirculation typically takes less than a microsecond").
+  TimeNs recirc_latency = TimeNs{750};
+  // Loopback-port service rate in packets per second. Far below the
+  // front-panel bandwidth, which is what makes recirculation a scarce
+  // resource.
+  double recirc_rate_pps = 8e6;
+  // Backlog the loopback port can absorb before dropping. The shallow queue
+  // is what drops R2P2-1's spinning tasks when a burst exhausts its credits
+  // (Figs. 7/8); Draconis' repair/swap traffic rides the lossless class and
+  // never outruns the port.
+  size_t recirc_queue_depth = 64;
+};
+
+struct PipelineCounters {
+  uint64_t packets_in = 0;       // fresh packets from the fabric
+  uint64_t passes = 0;           // total pipeline traversals
+  uint64_t recirculations = 0;   // passes that came from the loopback port
+  uint64_t recirc_drops = 0;     // packets lost at the loopback port
+  uint64_t emitted = 0;          // packets sent out of the switch
+  std::map<std::string, uint64_t> program_drops;
+
+  // Fraction of all processed packets that were recirculations (Fig. 7's
+  // y-axis).
+  double RecirculationShare() const {
+    return passes == 0 ? 0.0 : static_cast<double>(recirculations) / static_cast<double>(passes);
+  }
+};
+
+class SwitchPipeline : public net::Endpoint {
+ public:
+  // The program must outlive the pipeline. Call AttachNetwork before any
+  // traffic arrives.
+  SwitchPipeline(sim::Simulator* simulator, SwitchProgram* program,
+                 const PipelineConfig& config);
+
+  // Registers the pipeline on the fabric and remembers its own address.
+  net::NodeId AttachNetwork(net::Network* network);
+
+  net::NodeId node_id() const { return node_id_; }
+  const PipelineCounters& counters() const { return counters_; }
+  ResourceLedger& ledger() { return ledger_; }
+
+  // net::Endpoint:
+  void HandlePacket(net::Packet pkt) override;
+
+ private:
+  friend class PassContext;
+
+  void RunPass(net::Packet pkt, uint32_t pass_number);
+  void EmitFromPass(net::Packet pkt);
+  void RecirculateFromPass(net::Packet pkt, bool guaranteed);
+  void DropFromPass(const net::Packet& pkt, const std::string& reason);
+
+  sim::Simulator* simulator_;
+  SwitchProgram* program_;
+  PipelineConfig config_;
+  net::Network* network_ = nullptr;
+  net::NodeId node_id_ = net::kInvalidNode;
+  PipelineCounters counters_;
+  ResourceLedger ledger_;
+
+  TimeNs recirc_interval_;
+  TimeNs recirc_next_free_ = 0;
+  size_t recirc_backlog_ = 0;
+};
+
+}  // namespace draconis::p4
+
+#endif  // DRACONIS_P4_PIPELINE_H_

@@ -1,0 +1,3 @@
+// register.h is header-only; this TU exists so the library has an archive
+// member even when no other source is compiled.
+#include "p4/register.h"

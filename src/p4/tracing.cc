@@ -1,0 +1,41 @@
+#include "p4/tracing.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace draconis::p4 {
+
+TracingProgram::TracingProgram(SwitchProgram* inner, size_t capacity)
+    : inner_(inner), capacity_(capacity) {
+  DRACONIS_CHECK(inner != nullptr && capacity > 0);
+}
+
+void TracingProgram::SetFilter(std::function<bool(const net::Packet&)> filter) {
+  filter_ = std::move(filter);
+}
+
+void TracingProgram::Clear() {
+  events_.clear();
+  recorded_ = 0;
+}
+
+void TracingProgram::Dump(std::FILE* out) const {
+  for (const Event& event : events_) {
+    std::fprintf(out, "%12s pass=%-2u %s\n", FormatDuration(event.at).c_str(),
+                 event.pass_number, event.summary.c_str());
+  }
+}
+
+void TracingProgram::OnPass(PassContext& ctx, net::Packet pkt) {
+  if (!filter_ || filter_(pkt)) {
+    ++recorded_;
+    if (events_.size() == capacity_) {
+      events_.pop_front();
+    }
+    events_.push_back(Event{ctx.Now(), ctx.pass_number(), pkt.op, pkt.Describe()});
+  }
+  inner_->OnPass(ctx, std::move(pkt));
+}
+
+}  // namespace draconis::p4

@@ -1,0 +1,57 @@
+// Packet-level tracing for switch programs.
+//
+// TracingProgram wraps any SwitchProgram and records a bounded ring of
+// per-pass events (time, pass number, packet summary), optionally filtered.
+// It is the tool for debugging scheduler behaviour ("what did the switch see
+// around t=1.4ms?") without printf-ing from the data path.
+
+#ifndef DRACONIS_P4_TRACING_H_
+#define DRACONIS_P4_TRACING_H_
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/time.h"
+#include "p4/pipeline.h"
+
+namespace draconis::p4 {
+
+class TracingProgram : public SwitchProgram {
+ public:
+  struct Event {
+    TimeNs at;
+    uint32_t pass_number;
+    net::OpCode op;
+    std::string summary;
+  };
+
+  // `inner` must outlive the tracer. At most `capacity` events are retained
+  // (oldest evicted first).
+  TracingProgram(SwitchProgram* inner, size_t capacity = 4096);
+
+  // Record only packets the predicate accepts (default: everything).
+  void SetFilter(std::function<bool(const net::Packet&)> filter);
+
+  const std::deque<Event>& events() const { return events_; }
+  uint64_t recorded() const { return recorded_; }  // total, including evicted
+  void Clear();
+
+  // Writes the retained events to `out`, one per line.
+  void Dump(std::FILE* out) const;
+
+  // SwitchProgram:
+  void OnPass(PassContext& ctx, net::Packet pkt) override;
+
+ private:
+  SwitchProgram* inner_;
+  size_t capacity_;
+  std::function<bool(const net::Packet&)> filter_;
+  std::deque<Event> events_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace draconis::p4
+
+#endif  // DRACONIS_P4_TRACING_H_

@@ -1,0 +1,87 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace draconis::sim {
+
+void EventHandle::Cancel() {
+  if (cancelled_ != nullptr) {
+    *cancelled_ = true;
+  }
+}
+
+bool EventHandle::pending() const { return cancelled_ != nullptr && !*cancelled_; }
+
+void Simulator::Push(TimeNs at, std::function<void()> fn, std::shared_ptr<bool> cancelled) {
+  DRACONIS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn), std::move(cancelled)});
+}
+
+void Simulator::At(TimeNs at, std::function<void()> fn) { Push(at, std::move(fn), nullptr); }
+
+void Simulator::After(TimeNs delay, std::function<void()> fn) {
+  DRACONIS_CHECK(delay >= 0);
+  Push(now_ + delay, std::move(fn), nullptr);
+}
+
+EventHandle Simulator::CancellableAt(TimeNs at, std::function<void()> fn) {
+  auto flag = std::make_shared<bool>(false);
+  Push(at, std::move(fn), flag);
+  return EventHandle(std::move(flag));
+}
+
+EventHandle Simulator::CancellableAfter(TimeNs delay, std::function<void()> fn) {
+  DRACONIS_CHECK(delay >= 0);
+  return CancellableAt(now_ + delay, std::move(fn));
+}
+
+uint64_t Simulator::RunUntil(TimeNs until) {
+  uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // The event's closure may schedule more events, which can reallocate the
+    // heap, so move the event out before popping.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (ev.cancelled != nullptr && *ev.cancelled) {
+      continue;
+    }
+    if (ev.cancelled != nullptr) {
+      *ev.cancelled = true;  // consumed; handle now reports !pending()
+    }
+    now_ = ev.at;
+    ev.fn();
+    ++ran;
+    ++executed_;
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return ran;
+}
+
+uint64_t Simulator::RunAll() {
+  uint64_t ran = 0;
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (ev.cancelled != nullptr && *ev.cancelled) {
+      continue;
+    }
+    if (ev.cancelled != nullptr) {
+      *ev.cancelled = true;
+    }
+    now_ = ev.at;
+    ev.fn();
+    ++ran;
+    ++executed_;
+  }
+  return ran;
+}
+
+void Simulator::Clear() {
+  while (!queue_.empty()) {
+    queue_.pop();
+  }
+}
+
+}  // namespace draconis::sim

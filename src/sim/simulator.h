@@ -1,0 +1,101 @@
+// Discrete-event simulator.
+//
+// The simulator owns a priority queue of (time, sequence, closure) events and
+// a virtual clock. Events scheduled for the same instant run in scheduling
+// order (the sequence number breaks ties), which gives the deterministic
+// serial packet ordering the switch model relies on.
+
+#ifndef DRACONIS_SIM_SIMULATOR_H_
+#define DRACONIS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace draconis::sim {
+
+// Handle for a scheduled event that may be cancelled before it fires.
+// Cancellation is O(1): the event stays in the heap but is skipped when
+// popped. Copies share the same underlying event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Safe to call repeatedly and on
+  // default-constructed handles.
+  void Cancel();
+
+  // True if the event is still going to fire.
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  // Schedules fn at absolute time `at` (>= Now()).
+  void At(TimeNs at, std::function<void()> fn);
+
+  // Schedules fn after a relative delay (>= 0).
+  void After(TimeNs delay, std::function<void()> fn);
+
+  // Like At/After but returns a handle that can cancel the event.
+  EventHandle CancellableAt(TimeNs at, std::function<void()> fn);
+  EventHandle CancellableAfter(TimeNs delay, std::function<void()> fn);
+
+  // Runs events until the queue drains or the clock passes `until`.
+  // Events scheduled exactly at `until` still run. Returns the number of
+  // events executed.
+  uint64_t RunUntil(TimeNs until);
+
+  // Runs until the queue is completely empty.
+  uint64_t RunAll();
+
+  // Drops every pending event (used to tear down a run that has reached its
+  // measurement horizon without draining executor loops).
+  void Clear();
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs at = 0;
+    uint64_t seq = 0;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;  // null for non-cancellable events
+
+    // Min-heap by (at, seq).
+    bool operator>(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void Push(TimeNs at, std::function<void()> fn, std::shared_ptr<bool> cancelled);
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace draconis::sim
+
+#endif  // DRACONIS_SIM_SIMULATOR_H_

@@ -1,0 +1,135 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace draconis::stats {
+
+Histogram::Histogram() = default;
+
+size_t Histogram::BucketIndex(TimeNs value) {
+  DRACONIS_CHECK_MSG(value >= 0, "histogram values must be non-negative");
+  const auto v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    return static_cast<size_t>(v);
+  }
+  // Octave = position of the highest set bit above the sub-bucket range.
+  const int high_bit = 63 - std::countl_zero(v);
+  const int octave = high_bit - kSubBucketBits + 1;
+  const uint64_t sub = v >> octave;  // in [kSubBuckets/2 .. kSubBuckets)
+  return static_cast<size_t>(octave) * (kSubBuckets / 2) + static_cast<size_t>(sub);
+}
+
+TimeNs Histogram::BucketUpperBound(size_t index) {
+  if (index < kSubBuckets) {
+    return static_cast<TimeNs>(index);
+  }
+  const size_t octave = (index - kSubBuckets / 2) / (kSubBuckets / 2);
+  const size_t sub = index - octave * (kSubBuckets / 2);
+  return static_cast<TimeNs>(((sub + 1) << octave) - 1);
+}
+
+void Histogram::Record(TimeNs value) { RecordN(value, 1); }
+
+void Histogram::RecordN(TimeNs value, uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  const size_t index = BucketIndex(value);
+  if (index >= buckets_.size()) {
+    buckets_.resize(index + 1, 0);
+  }
+  buckets_[index] += n;
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (count_ == 0 || value > max_) {
+    max_ = value;
+  }
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (count_ == 0 || other.max_ > max_) {
+    max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+TimeNs Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+TimeNs Histogram::Percentile(double q) const {
+  DRACONIS_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) {
+    return 0;
+  }
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<CdfPoint> Histogram::Cdf() const {
+  std::vector<CdfPoint> points;
+  if (count_ == 0) {
+    return points;
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    cumulative += buckets_[i];
+    points.push_back(
+        {std::min(BucketUpperBound(i), max_),
+         static_cast<double>(cumulative) / static_cast<double>(count_)});
+  }
+  return points;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count_;
+  if (count_ > 0) {
+    os << " mean=" << FormatDuration(static_cast<TimeNs>(Mean()))
+       << " p50=" << FormatDuration(Percentile(0.50))
+       << " p99=" << FormatDuration(Percentile(0.99)) << " max=" << FormatDuration(max_);
+  }
+  return os.str();
+}
+
+void Histogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace draconis::stats

@@ -1,0 +1,28 @@
+#include "stats/timeseries.h"
+
+#include "common/check.h"
+
+namespace draconis::stats {
+
+TimeSeries::TimeSeries(TimeNs bucket_width) : bucket_width_(bucket_width) {
+  DRACONIS_CHECK(bucket_width > 0);
+}
+
+void TimeSeries::Record(TimeNs at, double weight) {
+  DRACONIS_CHECK(at >= 0);
+  const auto index = static_cast<size_t>(at / bucket_width_);
+  if (index >= buckets_.size()) {
+    buckets_.resize(index + 1, 0.0);
+  }
+  buckets_[index] += weight;
+}
+
+double TimeSeries::BucketSum(size_t i) const {
+  return i < buckets_.size() ? buckets_[i] : 0.0;
+}
+
+double TimeSeries::BucketRate(size_t i) const {
+  return BucketSum(i) / ToSeconds(bucket_width_);
+}
+
+}  // namespace draconis::stats

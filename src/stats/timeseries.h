@@ -1,0 +1,41 @@
+// Fixed-interval time series of event counts (e.g. tasks completed per node
+// per second), used for throughput-over-time figures such as the paper's
+// resource-constraint experiment (Fig. 11).
+
+#ifndef DRACONIS_STATS_TIMESERIES_H_
+#define DRACONIS_STATS_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace draconis::stats {
+
+class TimeSeries {
+ public:
+  // bucket_width: width of each aggregation interval (> 0).
+  explicit TimeSeries(TimeNs bucket_width);
+
+  // Adds `weight` to the bucket containing `at`.
+  void Record(TimeNs at, double weight = 1.0);
+
+  // Number of buckets spanned so far (index of last recorded bucket + 1).
+  size_t NumBuckets() const { return buckets_.size(); }
+
+  // Sum recorded in bucket i (0 if never touched).
+  double BucketSum(size_t i) const;
+
+  // Recorded sum divided by the bucket width in seconds, i.e. a rate.
+  double BucketRate(size_t i) const;
+
+  TimeNs bucket_width() const { return bucket_width_; }
+
+ private:
+  TimeNs bucket_width_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace draconis::stats
+
+#endif  // DRACONIS_STATS_TIMESERIES_H_

@@ -1,0 +1,108 @@
+#include "workload/generators.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace draconis::workload {
+
+size_t TotalTasks(const JobStream& stream) {
+  size_t total = 0;
+  for (const JobArrival& job : stream) {
+    total += job.tasks.size();
+  }
+  return total;
+}
+
+TimeNs TotalWork(const JobStream& stream) {
+  TimeNs total = 0;
+  for (const JobArrival& job : stream) {
+    for (const TaskSpec& task : job.tasks) {
+      total += task.duration;
+    }
+  }
+  return total;
+}
+
+JobStream GenerateOpenLoop(const OpenLoopSpec& spec) {
+  DRACONIS_CHECK(spec.tasks_per_second > 0.0);
+  DRACONIS_CHECK(spec.tasks_per_job >= 1);
+  Rng rng(spec.seed);
+  JobStream stream;
+  const double jobs_per_second =
+      spec.tasks_per_second / static_cast<double>(spec.tasks_per_job);
+  TimeNs at = rng.NextPoissonGap(jobs_per_second);
+  while (at < spec.duration) {
+    JobArrival job;
+    job.at = at;
+    job.tasks.reserve(spec.tasks_per_job);
+    for (size_t i = 0; i < spec.tasks_per_job; ++i) {
+      TaskSpec task;
+      task.duration = spec.service.Sample(rng);
+      job.tasks.push_back(task);
+    }
+    stream.push_back(std::move(job));
+    at += rng.NextPoissonGap(jobs_per_second);
+  }
+  return stream;
+}
+
+void TagLocality(JobStream& stream, uint32_t num_nodes, uint64_t seed) {
+  DRACONIS_CHECK(num_nodes > 0);
+  Rng rng(seed);
+  for (JobArrival& job : stream) {
+    for (TaskSpec& task : job.tasks) {
+      task.tprops = static_cast<uint32_t>(rng.NextBelow(num_nodes));
+    }
+  }
+}
+
+void TagPriorities(JobStream& stream, const std::vector<double>& mix, uint64_t seed) {
+  DRACONIS_CHECK(!mix.empty());
+  double total = 0.0;
+  for (double w : mix) {
+    DRACONIS_CHECK(w >= 0.0);
+    total += w;
+  }
+  DRACONIS_CHECK(total > 0.0);
+  Rng rng(seed);
+  for (JobArrival& job : stream) {
+    for (TaskSpec& task : job.tasks) {
+      double u = rng.NextDouble() * total;
+      uint32_t level = static_cast<uint32_t>(mix.size());
+      for (size_t i = 0; i < mix.size(); ++i) {
+        if (u < mix[i]) {
+          level = static_cast<uint32_t>(i + 1);
+          break;
+        }
+        u -= mix[i];
+      }
+      task.tprops = level;
+    }
+  }
+}
+
+const std::vector<double>& PaperPriorityMix() {
+  static const std::vector<double> kMix = {1.2, 1.7, 64.6, 32.2};
+  return kMix;
+}
+
+JobStream GenerateResourcePhases(const ResourcePhasesSpec& spec) {
+  Rng rng(spec.seed);
+  JobStream stream;
+  const TimeNs total = 3 * spec.phase_duration;
+  TimeNs at = rng.NextPoissonGap(spec.tasks_per_second);
+  while (at < total) {
+    const auto phase = static_cast<uint32_t>(at / spec.phase_duration);  // 0, 1, 2
+    JobArrival job;
+    job.at = at;
+    TaskSpec task;
+    task.duration = spec.service.Sample(rng);
+    task.tprops = 1u << phase;  // A=1, B=2, C=4
+    job.tasks.push_back(task);
+    stream.push_back(std::move(job));
+    at += rng.NextPoissonGap(spec.tasks_per_second);
+  }
+  return stream;
+}
+
+}  // namespace draconis::workload

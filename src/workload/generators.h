@@ -1,0 +1,50 @@
+// Job-stream generators for the paper's experiments.
+
+#ifndef DRACONIS_WORKLOAD_GENERATORS_H_
+#define DRACONIS_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "workload/service_time.h"
+#include "workload/spec.h"
+
+namespace draconis::workload {
+
+// Open-loop Poisson arrivals: tasks_per_second on average over [0, duration),
+// grouped into jobs of `tasks_per_job`.
+struct OpenLoopSpec {
+  double tasks_per_second = 100000.0;
+  TimeNs duration = FromMillis(100);
+  size_t tasks_per_job = 1;
+  ServiceTime service = ServiceTime::Fixed(FromMicros(500));
+  uint64_t seed = 42;
+};
+
+JobStream GenerateOpenLoop(const OpenLoopSpec& spec);
+
+// Tags every task with a uniformly random data-local node in [0, num_nodes)
+// (Fig. 10: unreplicated data, evenly partitioned across the nodes).
+void TagLocality(JobStream& stream, uint32_t num_nodes, uint64_t seed);
+
+// Tags every task with a 1-based priority level drawn from `mix` (fractions
+// per level; normalized).
+void TagPriorities(JobStream& stream, const std::vector<double>& mix, uint64_t seed);
+
+// The paper's 4-level priority mix after mapping Google's 12 levels onto 4
+// (§8.6): 1.2% / 1.7% / 64.6% / 32.2%.
+const std::vector<double>& PaperPriorityMix();
+
+// Fig. 11's phased resource workload: three consecutive phases of equal
+// length; tasks in phase p require resource bit p (A=1, B=2, C=4).
+struct ResourcePhasesSpec {
+  double tasks_per_second = 2600.0;
+  TimeNs phase_duration = FromSeconds(30);
+  ServiceTime service = ServiceTime::Fixed(FromMillis(10));
+  uint64_t seed = 42;
+};
+
+JobStream GenerateResourcePhases(const ResourcePhasesSpec& spec);
+
+}  // namespace draconis::workload
+
+#endif  // DRACONIS_WORKLOAD_GENERATORS_H_

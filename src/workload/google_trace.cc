@@ -1,0 +1,51 @@
+#include "workload/google_trace.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "workload/generators.h"
+
+namespace draconis::workload {
+
+JobStream GenerateGoogleTrace(const GoogleTraceSpec& spec) {
+  DRACONIS_CHECK(spec.mean_tasks_per_second > 0.0);
+  DRACONIS_CHECK(spec.max_job_size >= 1);
+  Rng rng(spec.seed);
+  JobStream stream;
+
+  TimeNs at = 0;
+  while (at < spec.duration) {
+    const auto burst = static_cast<size_t>(rng.NextBoundedPareto(
+        1.0, static_cast<double>(spec.max_job_size) + 0.999, spec.burst_alpha));
+    JobArrival job;
+    job.at = at;
+    job.tasks.reserve(burst);
+    for (size_t i = 0; i < burst; ++i) {
+      TaskSpec task;
+      task.duration = static_cast<TimeNs>(rng.NextLognormalWithMean(
+          static_cast<double>(spec.mean_task_duration), spec.duration_sigma));
+      if (task.duration < 1) {
+        task.duration = 1;
+      }
+      job.tasks.push_back(task);
+    }
+    stream.push_back(std::move(job));
+
+    // Keep the long-run task rate at the target: the mean gap to the next
+    // burst carries this burst's worth of tasks.
+    const double gap_seconds =
+        rng.NextExponential(static_cast<double>(burst) / spec.mean_tasks_per_second);
+    TimeNs gap = static_cast<TimeNs>(gap_seconds * kSecond);
+    at += gap > 0 ? gap : 1;
+  }
+
+  if (spec.priority_levels > 0) {
+    DRACONIS_CHECK_MSG(spec.priority_levels == 4,
+                       "the paper's mapping produces exactly 4 levels");
+    TagPriorities(stream, PaperPriorityMix(), rng.NextU64());
+  }
+  return stream;
+}
+
+}  // namespace draconis::workload

@@ -1,0 +1,104 @@
+#include "workload/service_time.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace draconis::workload {
+
+ServiceTime ServiceTime::Fixed(TimeNs value) {
+  DRACONIS_CHECK(value >= 0);
+  ServiceTime st(Kind::kFixed, FormatDuration(value) + " fixed");
+  st.fixed_value_ = value;
+  return st;
+}
+
+ServiceTime ServiceTime::Mixture(std::vector<TimeNs> values, std::vector<double> weights,
+                                 std::string label) {
+  DRACONIS_CHECK(!values.empty() && values.size() == weights.size());
+  ServiceTime st(Kind::kMixture, std::move(label));
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  DRACONIS_CHECK(total > 0.0);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    cumulative += weights[i] / total;
+    st.values_.push_back(values[i]);
+    st.cumulative_.push_back(cumulative);
+  }
+  st.cumulative_.back() = 1.0;
+  return st;
+}
+
+ServiceTime ServiceTime::Exponential(TimeNs mean) {
+  DRACONIS_CHECK(mean > 0);
+  ServiceTime st(Kind::kExponential, FormatDuration(mean) + " exponential");
+  st.mean_ = mean;
+  return st;
+}
+
+ServiceTime ServiceTime::Lognormal(TimeNs mean, double sigma) {
+  DRACONIS_CHECK(mean > 0 && sigma > 0.0);
+  ServiceTime st(Kind::kLognormal, FormatDuration(mean) + " lognormal");
+  st.mean_ = mean;
+  st.sigma_ = sigma;
+  return st;
+}
+
+ServiceTime ServiceTime::PaperBimodal() {
+  return Mixture({FromMicros(100), FromMicros(500)}, {0.5, 0.5}, "bimodal 100/500us");
+}
+
+ServiceTime ServiceTime::PaperTrimodal() {
+  return Mixture({FromMicros(100), FromMicros(250), FromMicros(500)}, {1.0, 1.0, 1.0},
+                 "trimodal 100/250/500us");
+}
+
+ServiceTime ServiceTime::PaperExponential() { return Exponential(FromMicros(250)); }
+
+TimeNs ServiceTime::Sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return fixed_value_;
+    case Kind::kMixture: {
+      const double u = rng.NextDouble();
+      for (size_t i = 0; i < cumulative_.size(); ++i) {
+        if (u < cumulative_[i]) {
+          return values_[i];
+        }
+      }
+      return values_.back();
+    }
+    case Kind::kExponential: {
+      const auto v = static_cast<TimeNs>(rng.NextExponential(static_cast<double>(mean_)));
+      return v > 0 ? v : 1;
+    }
+    case Kind::kLognormal: {
+      const auto v =
+          static_cast<TimeNs>(rng.NextLognormalWithMean(static_cast<double>(mean_), sigma_));
+      return v > 0 ? v : 1;
+    }
+  }
+  return 0;
+}
+
+TimeNs ServiceTime::Mean() const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return fixed_value_;
+    case Kind::kMixture: {
+      double mean = 0.0;
+      double prev = 0.0;
+      for (size_t i = 0; i < values_.size(); ++i) {
+        mean += static_cast<double>(values_[i]) * (cumulative_[i] - prev);
+        prev = cumulative_[i];
+      }
+      return static_cast<TimeNs>(mean);
+    }
+    case Kind::kExponential:
+    case Kind::kLognormal:
+      return mean_;
+  }
+  return 0;
+}
+
+}  // namespace draconis::workload

@@ -1,0 +1,53 @@
+// Task service-time distributions of the paper's synthetic suite (§8):
+// fixed 100/250/500 us, bimodal (50% 100 us + 50% 500 us), trimodal
+// (1/3 each of 100/250/500 us), and exponential with mean 250 us.
+
+#ifndef DRACONIS_WORKLOAD_SERVICE_TIME_H_
+#define DRACONIS_WORKLOAD_SERVICE_TIME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace draconis::workload {
+
+class ServiceTime {
+ public:
+  // A point mass at `value`.
+  static ServiceTime Fixed(TimeNs value);
+  // A discrete mixture: values[i] with probability weights[i] (normalized).
+  static ServiceTime Mixture(std::vector<TimeNs> values, std::vector<double> weights,
+                             std::string label);
+  // Exponential with the given mean.
+  static ServiceTime Exponential(TimeNs mean);
+  // Lognormal with the given arithmetic mean and shape sigma.
+  static ServiceTime Lognormal(TimeNs mean, double sigma);
+
+  // --- The paper's named workloads -----------------------------------------
+  static ServiceTime PaperBimodal();   // 50% 100 us, 50% 500 us
+  static ServiceTime PaperTrimodal();  // 1/3 each of 100/250/500 us
+  static ServiceTime PaperExponential();  // mean 250 us
+
+  TimeNs Sample(Rng& rng) const;
+  TimeNs Mean() const;
+  const std::string& label() const { return label_; }
+
+ private:
+  enum class Kind { kFixed, kMixture, kExponential, kLognormal };
+
+  ServiceTime(Kind kind, std::string label) : kind_(kind), label_(std::move(label)) {}
+
+  Kind kind_;
+  std::string label_;
+  TimeNs fixed_value_ = 0;
+  std::vector<TimeNs> values_;
+  std::vector<double> cumulative_;
+  TimeNs mean_ = 0;
+  double sigma_ = 0.0;
+};
+
+}  // namespace draconis::workload
+
+#endif  // DRACONIS_WORKLOAD_SERVICE_TIME_H_

@@ -1,0 +1,41 @@
+// Workload primitives: what a generated task/job looks like before it is
+// handed to a client for submission.
+
+#ifndef DRACONIS_WORKLOAD_SPEC_H_
+#define DRACONIS_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace draconis::workload {
+
+struct TaskSpec {
+  TimeNs duration = 0;
+  uint32_t tprops = 0;  // priority level / resource bitmap / data-local node
+  uint32_t fn_id = 0;
+  uint64_t fn_par = 0;
+  // §4.4: parameters too large for the FN_PAR field. When > 0 the task is
+  // submitted as a transmission function and the executor fetches this many
+  // bytes from the client before running.
+  uint32_t oversized_param_bytes = 0;
+};
+
+// One job: a batch of independent tasks arriving together.
+struct JobArrival {
+  TimeNs at = 0;
+  std::vector<TaskSpec> tasks;
+};
+
+using JobStream = std::vector<JobArrival>;
+
+// Total tasks across a stream.
+size_t TotalTasks(const JobStream& stream);
+
+// Sum of task service time across a stream (for utilization bookkeeping).
+TimeNs TotalWork(const JobStream& stream);
+
+}  // namespace draconis::workload
+
+#endif  // DRACONIS_WORKLOAD_SPEC_H_

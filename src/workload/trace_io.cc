@@ -1,0 +1,97 @@
+#include "workload/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "common/check.h"
+
+namespace draconis::workload {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool SaveJobStream(const std::string& path, const JobStream& stream) {
+  File file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) {
+    return false;
+  }
+  std::fprintf(file.get(), "# job,arrival_ns,duration_ns,tprops,fn_id,fn_par,oversized\n");
+  uint64_t job_id = 0;
+  for (const JobArrival& job : stream) {
+    for (const TaskSpec& task : job.tasks) {
+      std::fprintf(file.get(), "%" PRIu64 ",%" PRId64 ",%" PRId64 ",%u,%u,%" PRIu64 ",%u\n",
+                   job_id, job.at, task.duration, task.tprops, task.fn_id, task.fn_par,
+                   task.oversized_param_bytes);
+    }
+    ++job_id;
+  }
+  return std::ferror(file.get()) == 0;
+}
+
+bool LoadJobStream(const std::string& path, JobStream* stream, std::string* error) {
+  DRACONIS_CHECK(stream != nullptr && error != nullptr);
+  File file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  stream->clear();
+
+  char line[512];
+  uint64_t current_job = 0;
+  bool have_job = false;
+  int line_number = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    ++line_number;
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') {
+      continue;
+    }
+    uint64_t job_id = 0;
+    int64_t arrival = 0;
+    int64_t duration = 0;
+    uint32_t tprops = 0;
+    uint32_t fn_id = 0;
+    uint64_t fn_par = 0;
+    uint32_t oversized = 0;
+    const int fields =
+        std::sscanf(line, "%" SCNu64 ",%" SCNd64 ",%" SCNd64 ",%u,%u,%" SCNu64 ",%u",
+                    &job_id, &arrival, &duration, &tprops, &fn_id, &fn_par, &oversized);
+    if (fields < 3) {
+      *error = path + ": parse error at line " + std::to_string(line_number);
+      return false;
+    }
+    if (arrival < 0 || duration < 0) {
+      *error = path + ": negative time at line " + std::to_string(line_number);
+      return false;
+    }
+    if (!stream->empty() && arrival < stream->back().at) {
+      *error = path + ": arrivals not sorted at line " + std::to_string(line_number);
+      return false;
+    }
+
+    if (!have_job || job_id != current_job) {
+      stream->push_back(JobArrival{arrival, {}});
+      current_job = job_id;
+      have_job = true;
+    }
+    TaskSpec task;
+    task.duration = duration;
+    task.tprops = tprops;
+    task.fn_id = fn_id;
+    task.fn_par = fn_par;
+    task.oversized_param_bytes = oversized;
+    stream->back().tasks.push_back(task);
+  }
+  return true;
+}
+
+}  // namespace draconis::workload

@@ -1,0 +1,33 @@
+// Job-stream (trace) file I/O.
+//
+// A trace is a CSV with one task per row, grouped into jobs by the job
+// column:
+//
+//   # job,arrival_ns,duration_ns,tprops,fn_id,fn_par,oversized_param_bytes
+//   0,12500,100000,0,1,0,0
+//   0,12500,250000,2,1,0,0
+//   1,31750,100000,0,1,0,0
+//
+// This lets users run real traces through the simulator and lets generated
+// workloads be archived for exact reruns.
+
+#ifndef DRACONIS_WORKLOAD_TRACE_IO_H_
+#define DRACONIS_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+
+#include "workload/spec.h"
+
+namespace draconis::workload {
+
+// Writes the stream to `path`. Returns false on I/O failure.
+bool SaveJobStream(const std::string& path, const JobStream& stream);
+
+// Reads a trace written by SaveJobStream (or hand-authored in the same
+// format). Comment lines start with '#'. Returns false (and fills *error)
+// on I/O or parse failure.
+bool LoadJobStream(const std::string& path, JobStream* stream, std::string* error);
+
+}  // namespace draconis::workload
+
+#endif  // DRACONIS_WORKLOAD_TRACE_IO_H_

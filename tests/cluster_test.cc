@@ -1,0 +1,414 @@
+// Unit and small-scenario tests for the cluster layer: clients (timeouts,
+// retries, MTU splitting, parameter serving), executors (pull loop, backoff,
+// watchdog, §4.4 parameter fetch), the metrics hub, and §3.3 switch failover.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/client.h"
+#include "cluster/executor.h"
+#include "cluster/metrics.h"
+#include "core/draconis_program.h"
+#include "core/policy.h"
+#include "net/network.h"
+#include "p4/pipeline.h"
+#include "sim/simulator.h"
+
+namespace draconis::cluster {
+namespace {
+
+class Probe : public net::Endpoint {
+ public:
+  void HandlePacket(net::Packet pkt) override { received.push_back(std::move(pkt)); }
+  size_t CountOf(net::OpCode op) const {
+    size_t n = 0;
+    for (const auto& p : received) {
+      n += p.op == op ? 1 : 0;
+    }
+    return n;
+  }
+  std::vector<net::Packet> received;
+};
+
+// ---------------------------------------------------------------------------
+// MetricsHub
+// ---------------------------------------------------------------------------
+
+TEST(MetricsHubTest, WindowFiltersByFirstSubmission) {
+  MetricsHub hub(100, 200);
+  net::TaskInfo in_window;
+  in_window.id = net::TaskId{0, 0, 1};
+  in_window.meta.first_submit_time = 150;
+  net::TaskInfo before;
+  before.id = net::TaskId{0, 0, 2};
+  before.meta.first_submit_time = 50;
+  net::TaskInfo after;
+  after.id = net::TaskId{0, 0, 3};
+  after.meta.first_submit_time = 250;
+
+  hub.RecordExecutionStart(in_window, 160);
+  hub.RecordExecutionStart(before, 60);
+  hub.RecordExecutionStart(after, 260);
+  EXPECT_EQ(hub.sched_delay().count(), 1u);
+  EXPECT_EQ(hub.sched_delay().max(), 10);
+}
+
+TEST(MetricsHubTest, FirstExecutionDeduplicates) {
+  MetricsHub hub(0, 1000);
+  const net::TaskId id{1, 2, 3};
+  EXPECT_TRUE(hub.FirstExecution(id));
+  EXPECT_FALSE(hub.FirstExecution(id));
+  EXPECT_TRUE(hub.FirstExecution(net::TaskId{1, 2, 4}));
+}
+
+TEST(MetricsHubTest, BusyIntervalClampedToWindow) {
+  MetricsHub hub(100, 200);
+  hub.RecordBusyInterval(50, 150);   // clipped to [100, 150]
+  hub.RecordBusyInterval(150, 250);  // clipped to [150, 200]
+  hub.RecordBusyInterval(300, 400);  // outside entirely
+  EXPECT_EQ(hub.total_busy(), 100);
+}
+
+TEST(MetricsHubTest, PriorityHistogramsClampLevels) {
+  MetricsHub hub(0, 1000, 0, 4);
+  net::TaskInfo task;
+  task.meta.first_submit_time = 1;
+  task.meta.enqueue_time = 1;
+  task.tprops = 99;  // clamps to level 4
+  hub.RecordAssignment(task, 11);
+  EXPECT_EQ(hub.priority_queueing(4).count(), 1u);
+}
+
+TEST(MetricsHubTest, PlacementCounters) {
+  MetricsHub hub(0, 1000);
+  hub.RecordPlacement(net::TaskInfo::Placement::kLocal);
+  hub.RecordPlacement(net::TaskInfo::Placement::kLocal);
+  hub.RecordPlacement(net::TaskInfo::Placement::kRemote);
+  EXPECT_EQ(hub.placements(net::TaskInfo::Placement::kLocal), 2u);
+  EXPECT_EQ(hub.placements(net::TaskInfo::Placement::kSameRack), 0u);
+  EXPECT_EQ(hub.placements(net::TaskInfo::Placement::kRemote), 1u);
+}
+
+TEST(MetricsHubTest, NodeCompletionTotals) {
+  MetricsHub hub(0, kSecond, 2);
+  hub.RecordNodeCompletion(0, 10);
+  hub.RecordNodeCompletion(1, 20);
+  hub.RecordNodeCompletion(7, 30);  // unknown node: counted in the total only
+  EXPECT_EQ(hub.total_node_completions(), 3u);
+  EXPECT_DOUBLE_EQ(hub.node_completions(0).BucketSum(0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest()
+      : network(&simulator, net::NetworkConfig{}),
+        metrics(0, FromSeconds(10)) {}
+
+  Client& MakeClient(ClientConfig config = {}) {
+    client = std::make_unique<Client>(&simulator, &network, &metrics, config);
+    scheduler_node = network.Register(&scheduler, net::HostProfile::Wire());
+    client->SetScheduler(scheduler_node);
+    return *client;
+  }
+
+  sim::Simulator simulator;
+  net::Network network;
+  MetricsHub metrics;
+  std::unique_ptr<Client> client;
+  Probe scheduler;
+  net::NodeId scheduler_node = net::kInvalidNode;
+};
+
+TEST_F(ClientTest, SubmitsJobAsOnePacketWhenItFits) {
+  Client& c = MakeClient();
+  c.SubmitJob(std::vector<TaskSpec>(5));
+  simulator.RunUntil(FromMicros(50));
+  ASSERT_EQ(scheduler.received.size(), 1u);
+  EXPECT_EQ(scheduler.received[0].tasks.size(), 5u);
+  EXPECT_EQ(c.outstanding(), 5u);
+}
+
+TEST_F(ClientTest, SplitsLargeJobsAtTheMtu) {
+  Client& c = MakeClient();
+  const size_t max = net::MaxTasksPerPacket();
+  c.SubmitJob(std::vector<TaskSpec>(max + 3));
+  simulator.RunUntil(FromMicros(40));  // before the no-reply timeouts fire
+  ASSERT_EQ(scheduler.received.size(), 2u);
+  EXPECT_EQ(scheduler.received[0].tasks.size(), max);
+  EXPECT_EQ(scheduler.received[1].tasks.size(), 3u);
+  for (const auto& pkt : scheduler.received) {
+    EXPECT_LE(pkt.WireSize(), net::kMtuBytes);
+  }
+}
+
+TEST_F(ClientTest, SingleTaskPacketModeSendsTrains) {
+  ClientConfig config;
+  config.max_tasks_per_packet = 1;
+  Client& c = MakeClient(config);
+  c.SubmitJob(std::vector<TaskSpec>(4));
+  simulator.RunUntil(FromMicros(40));  // before the no-reply timeouts fire
+  EXPECT_EQ(scheduler.received.size(), 4u);
+}
+
+TEST_F(ClientTest, TimeoutResubmitsWithBackoff) {
+  ClientConfig config;
+  config.timeout_multiplier = 2.0;
+  Client& c = MakeClient(config);
+  TaskSpec spec;
+  spec.duration = FromMicros(100);
+  c.SubmitJob({spec});  // the scheduler probe never answers
+
+  simulator.RunUntil(FromMicros(250));  // past the 200 us timeout
+  EXPECT_EQ(metrics.timeout_resubmissions(), 1u);
+  EXPECT_EQ(scheduler.CountOf(net::OpCode::kJobSubmission), 2u);
+
+  // Second timeout doubles: fires at ~200 + 400 us.
+  simulator.RunUntil(FromMicros(500));
+  EXPECT_EQ(metrics.timeout_resubmissions(), 1u);
+  simulator.RunUntil(FromMicros(700));
+  EXPECT_EQ(metrics.timeout_resubmissions(), 2u);
+}
+
+TEST_F(ClientTest, CompletionCancelsTimeoutAndIgnoresDuplicates) {
+  Client& c = MakeClient();
+  TaskSpec spec;
+  spec.duration = FromMicros(100);
+  c.SubmitJob({spec});
+  simulator.RunUntil(FromMicros(20));
+  ASSERT_EQ(scheduler.received.size(), 1u);
+  net::TaskInfo task = scheduler.received[0].tasks[0];
+
+  net::Packet notice;
+  notice.op = net::OpCode::kCompletionNotice;
+  notice.dst = c.node_id();
+  notice.tasks = {task};
+  network.Send(scheduler_node, notice);
+  network.Send(scheduler_node, notice);  // duplicate
+  simulator.RunUntil(FromSeconds(1));
+
+  EXPECT_EQ(c.outstanding(), 0u);
+  EXPECT_EQ(c.completions(), 1u);
+  EXPECT_EQ(metrics.timeout_resubmissions(), 0u);
+  EXPECT_EQ(metrics.e2e_delay().count(), 1u);
+}
+
+TEST_F(ClientTest, QueueFullErrorRetriesAfterWait) {
+  Client& c = MakeClient();
+  TaskSpec spec;
+  spec.duration = FromMicros(100);
+  c.SubmitJob({spec});
+  simulator.RunUntil(FromMicros(20));
+  net::TaskInfo task = scheduler.received[0].tasks[0];
+
+  net::Packet error;
+  error.op = net::OpCode::kErrorQueueFull;
+  error.dst = c.node_id();
+  error.tasks = {task};
+  network.Send(scheduler_node, std::move(error));
+  simulator.RunUntil(FromMicros(100));  // the 50 us wait is still running
+  EXPECT_EQ(scheduler.CountOf(net::OpCode::kJobSubmission), 2u);
+  EXPECT_EQ(metrics.queue_full_retries(), 1u);
+}
+
+TEST_F(ClientTest, FireAndForgetTracksNothing) {
+  ClientConfig config;
+  config.fire_and_forget = true;
+  Client& c = MakeClient(config);
+  c.SubmitJob(std::vector<TaskSpec>(8));
+  simulator.RunUntil(FromSeconds(5));
+  EXPECT_EQ(c.outstanding(), 0u);
+  EXPECT_EQ(metrics.timeout_resubmissions(), 0u);
+}
+
+TEST_F(ClientTest, ServesParamFetches) {
+  Client& c = MakeClient();
+  TaskSpec spec;
+  spec.duration = FromMicros(100);
+  spec.oversized_param_bytes = 4096;
+  c.SubmitJob({spec});
+  simulator.RunUntil(FromMicros(20));
+  net::TaskInfo task = scheduler.received[0].tasks[0];
+  EXPECT_EQ(task.fn_id, net::kTransmissionFnId);
+  EXPECT_EQ(task.fn_par, 4096u);
+
+  net::Packet fetch;
+  fetch.op = net::OpCode::kParamFetch;
+  fetch.dst = c.node_id();
+  fetch.tasks = {task};
+  network.Send(scheduler_node, std::move(fetch));
+  simulator.RunUntil(FromMicros(100));
+  ASSERT_EQ(scheduler.CountOf(net::OpCode::kParamData), 1u);
+  for (const auto& pkt : scheduler.received) {
+    if (pkt.op == net::OpCode::kParamData) {
+      EXPECT_EQ(pkt.payload_bytes, 4096u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Executor against a real switch
+// ---------------------------------------------------------------------------
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : network(&simulator, net::NetworkConfig{}),
+        metrics(0, FromSeconds(10)),
+        program(&policy, core::DraconisConfig{}),
+        pipeline(&simulator, &program, p4::PipelineConfig{}) {
+    switch_node = pipeline.AttachNetwork(&network);
+    client = std::make_unique<Client>(&simulator, &network, &metrics, ClientConfig{});
+    client->SetScheduler(switch_node);
+  }
+
+  Executor& MakeExecutor(ExecutorConfig config = {}) {
+    executor = std::make_unique<Executor>(&simulator, &network, &metrics, config);
+    executor->Start(switch_node, 1);
+    return *executor;
+  }
+
+  sim::Simulator simulator;
+  net::Network network;
+  MetricsHub metrics;
+  core::FcfsPolicy policy;
+  core::DraconisProgram program;
+  p4::SwitchPipeline pipeline;
+  std::unique_ptr<Client> client;
+  std::unique_ptr<Executor> executor;
+  net::NodeId switch_node = net::kInvalidNode;
+};
+
+TEST_F(ExecutorTest, PullLoopExecutesSubmittedTask) {
+  Executor& ex = MakeExecutor();
+  TaskSpec spec;
+  spec.duration = FromMicros(100);
+  simulator.At(FromMicros(30), [&] { client->SubmitJob({spec}); });
+  simulator.RunUntil(FromMillis(1));
+  EXPECT_EQ(ex.tasks_executed(), 1u);
+  EXPECT_EQ(client->completions(), 1u);
+  EXPECT_GE(ex.busy_time(), FromMicros(100));
+}
+
+TEST_F(ExecutorTest, BacksOffWhileIdle) {
+  MakeExecutor();
+  simulator.RunUntil(FromMillis(2));
+  // With 2 us initial and 8 us cap (plus ~3.5 us RTT), an idle executor
+  // polls a few hundred times in 2 ms — not thousands (no 2 us hammering),
+  // not a handful.
+  const uint64_t polls = program.counters().noops_sent;
+  EXPECT_GT(polls, 100u);
+  EXPECT_LT(polls, 1000u);
+}
+
+TEST_F(ExecutorTest, WatchdogRecoversFromLostReply) {
+  ExecutorConfig config;
+  config.request_timeout = FromMicros(200);
+  Executor& ex = MakeExecutor(config);
+  // Black-hole the switch->executor direction briefly: replies are lost.
+  network.InjectDrop(switch_node, ex.node_id(), 1.0);
+  simulator.RunUntil(FromMillis(1));
+  network.ClearDropRules();
+  TaskSpec spec;
+  spec.duration = FromMicros(50);
+  client->SubmitJob({spec});
+  simulator.RunUntil(FromMillis(3));
+  EXPECT_EQ(ex.tasks_executed(), 1u) << "watchdog failed to re-request";
+}
+
+TEST_F(ExecutorTest, FetchesOversizedParamsBeforeRunning) {
+  Executor& ex = MakeExecutor();
+  TaskSpec spec;
+  spec.duration = FromMicros(100);
+  spec.oversized_param_bytes = 32 * 1024;
+  simulator.At(FromMicros(30), [&] { client->SubmitJob({spec}); });
+  simulator.RunUntil(FromMillis(2));
+  EXPECT_EQ(ex.tasks_executed(), 1u);
+  EXPECT_EQ(client->completions(), 1u);
+  // The execution start includes the client round trip for the parameters:
+  // at least two extra one-way hops beyond the normal ~3-4 us pull path.
+  EXPECT_GT(metrics.sched_delay().max(), FromMicros(7));
+}
+
+TEST_F(ExecutorTest, ParamFetchSurvivesLostData) {
+  ExecutorConfig config;
+  config.request_timeout = FromMicros(300);
+  Executor& ex = MakeExecutor(config);
+  TaskSpec spec;
+  spec.duration = FromMicros(100);
+  spec.oversized_param_bytes = 1024;
+  simulator.At(FromMicros(30), [&] { client->SubmitJob({spec}); });
+  // Lose the first fetch request(s).
+  network.InjectDrop(ex.node_id(), client->node_id(), 1.0);
+  simulator.At(FromMillis(1), [&] { network.ClearDropRules(); });
+  simulator.RunUntil(FromMillis(5));
+  // The client may have resubmitted (duplicates execute too), but it counts
+  // exactly one completion and the fetch retry eventually succeeded.
+  EXPECT_GE(ex.tasks_executed(), 1u);
+  EXPECT_EQ(client->completions(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// §3.3 switch failover
+// ---------------------------------------------------------------------------
+
+TEST(FailoverTest, ClusterSurvivesSwitchFailure) {
+  sim::Simulator simulator;
+  net::Network network(&simulator, net::NetworkConfig{});
+  MetricsHub metrics(0, FromSeconds(10));
+
+  core::FcfsPolicy policy;
+  core::DraconisConfig dc;
+  core::DraconisProgram program_a(&policy, dc);
+  core::DraconisProgram program_b(&policy, dc);
+  p4::SwitchPipeline switch_a(&simulator, &program_a, p4::PipelineConfig{});
+  p4::SwitchPipeline switch_b(&simulator, &program_b, p4::PipelineConfig{});
+  const net::NodeId node_a = switch_a.AttachNetwork(&network);
+  const net::NodeId node_b = switch_b.AttachNetwork(&network);
+  // (The fabric treats the most recently attached pipeline as the ToR for
+  // hop accounting; immaterial for this test.)
+
+  std::vector<std::unique_ptr<Executor>> executors;
+  for (int i = 0; i < 4; ++i) {
+    ExecutorConfig config;
+    config.request_timeout = FromMicros(500);
+    executors.push_back(std::make_unique<Executor>(&simulator, &network, &metrics, config));
+    executors.back()->Start(node_a, 1 + i * 100);
+  }
+  ClientConfig cc;
+  cc.timeout_multiplier = 3.0;
+  Client client(&simulator, &network, &metrics, cc);
+  client.SetScheduler(node_a);
+
+  // Submit 16-task bursts (4 executors -> each burst queues deep); the
+  // primary switch dies mid-burst with tasks parked in its queue, and the
+  // control plane re-points everyone at the standby.
+  for (int burst = 0; burst < 10; ++burst) {
+    simulator.At(1 + burst * FromMicros(500), [&] {
+      client.SubmitJob(std::vector<TaskSpec>(16, TaskSpec{FromMicros(100), 0, 0, 0, 0}));
+    });
+  }
+  simulator.At(FromMillis(2) + FromMicros(60), [&] {
+    network.Disconnect(node_a);
+    client.SetScheduler(node_b);
+    for (auto& executor : executors) {
+      executor->Rehome(node_b);
+    }
+  });
+
+  simulator.RunUntil(FromSeconds(2));
+  // Every task completes: tasks parked in the dead switch's queue are
+  // resubmitted by client timeouts, and executor watchdogs re-pull.
+  EXPECT_EQ(client.completions(), 160u);
+  EXPECT_EQ(client.outstanding(), 0u);
+  EXPECT_GT(metrics.timeout_resubmissions(), 0u);
+  EXPECT_GT(program_b.counters().tasks_assigned, 0u);
+}
+
+}  // namespace
+}  // namespace draconis::cluster

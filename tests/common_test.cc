@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace draconis {
+namespace {
+
+TEST(TimeTest, UnitConstants) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kMillisecond, 1000 * 1000);
+  EXPECT_EQ(kSecond, 1000 * 1000 * 1000);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(ToMicros(FromMicros(4.7)), 4.7);
+  EXPECT_DOUBLE_EQ(ToMillis(FromMillis(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(FromSeconds(0.25)), 0.25);
+  EXPECT_EQ(FromMicros(1.0), kMicrosecond);
+}
+
+TEST(TimeTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(500), "500ns");
+  EXPECT_EQ(FormatDuration(FromMicros(4.7)), "4.70us");
+  EXPECT_EQ(FormatDuration(FromMillis(13.3)), "13.30ms");
+  EXPECT_EQ(FormatDuration(FromSeconds(2)), "2.000s");
+}
+
+TEST(TimeTest, FormatDurationNegative) { EXPECT_EQ(FormatDuration(-1500), "-1.50us"); }
+
+TEST(CheckTest, PassingCheckDoesNothing) { EXPECT_NO_THROW(DRACONIS_CHECK(1 + 1 == 2)); }
+
+TEST(CheckTest, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(DRACONIS_CHECK(false), CheckFailure);
+}
+
+TEST(CheckTest, MessageIsIncluded) {
+  try {
+    DRACONIS_CHECK_MSG(false, "queue wedged");
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("queue wedged"), std::string::npos);
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(13);
+  bool seen[8] = {};
+  for (int i = 0; i < 1000; ++i) {
+    seen[rng.NextBelow(8)] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(21);
+  bool lo = false;
+  bool hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    lo |= v == -3;
+    hi |= v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.NextExponential(250.0);
+  }
+  EXPECT_NEAR(sum / kN, 250.0, 5.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(6);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.NextNormal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, LognormalMeanMatchesTarget) {
+  Rng rng(8);
+  double sum = 0.0;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.NextLognormalWithMean(500.0, 1.0);
+  }
+  EXPECT_NEAR(sum / kN, 500.0, 15.0);
+}
+
+TEST(RngTest, BoundedParetoStaysInBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextBoundedPareto(1.0, 300.0, 1.3);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LE(v, 300.0);
+  }
+}
+
+TEST(RngTest, BoundedParetoIsSkewed) {
+  Rng rng(11);
+  int small = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    small += rng.NextBoundedPareto(1.0, 300.0, 1.3) < 10.0 ? 1 : 0;
+  }
+  // Most mass near the lower bound.
+  EXPECT_GT(small, kN * 3 / 4);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(12);
+  int yes = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    yes += rng.NextBool(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(yes) / kN, 0.25, 0.01);
+}
+
+TEST(RngTest, PoissonGapPositiveAndMeanMatches) {
+  Rng rng(14);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const TimeNs gap = rng.NextPoissonGap(100000.0);  // mean 10us
+    ASSERT_GT(gap, 0);
+    sum += static_cast<double>(gap);
+  }
+  EXPECT_NEAR(sum / kN, 10000.0, 200.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng b = a.Fork();
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+}  // namespace
+}  // namespace draconis

@@ -1,0 +1,138 @@
+// Unit-level checks of the experiment harness: bookkeeping math, window
+// semantics, defaults, and scheduler-specific wiring that the figure benches
+// rely on.
+
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+#include "workload/generators.h"
+
+namespace draconis::cluster {
+namespace {
+
+ExperimentConfig TinyConfig(double tasks_per_second = 40000.0) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kDraconis;
+  config.num_workers = 2;
+  config.executors_per_worker = 4;
+  config.num_clients = 1;
+  config.warmup = FromMillis(2);
+  config.horizon = FromMillis(20);
+  config.max_tasks_per_packet = 1;
+
+  workload::OpenLoopSpec spec;
+  spec.tasks_per_second = tasks_per_second;
+  spec.duration = config.horizon;
+  spec.service = workload::ServiceTime::Fixed(FromMicros(100));
+  spec.seed = 3;
+  config.stream = workload::GenerateOpenLoop(spec);
+  return config;
+}
+
+TEST(ExperimentTest, OfferedUtilizationMatchesArithmetic) {
+  // 40k tasks/s x 100 us over 8 executors = 50%.
+  ExperimentResult result = RunExperiment(TinyConfig());
+  EXPECT_NEAR(result.offered_utilization, 0.5, 0.03);
+  EXPECT_NEAR(result.offered_tasks_per_second, 40000.0, 2500.0);
+}
+
+TEST(ExperimentTest, BusyFractionTracksOfferedLoad) {
+  ExperimentResult result = RunExperiment(TinyConfig());
+  EXPECT_NEAR(result.executor_busy_fraction, result.offered_utilization, 0.06);
+}
+
+TEST(ExperimentTest, WarmupTasksAreNotMeasured) {
+  ExperimentConfig config = TinyConfig();
+  config.warmup = FromMillis(10);  // half the stream is warmup
+  ExperimentResult half = RunExperiment(config);
+  config.warmup = FromMillis(2);
+  ExperimentResult most = RunExperiment(config);
+  EXPECT_LT(half.metrics->tasks_submitted(), most.metrics->tasks_submitted() * 2 / 3);
+}
+
+TEST(ExperimentTest, DefaultHorizonCoversTheStream) {
+  ExperimentConfig config = TinyConfig();
+  config.horizon = 0;  // derive from the last arrival
+  ExperimentResult result = RunExperiment(config);
+  // Everything submitted completes within the derived horizon + margin.
+  EXPECT_EQ(result.metrics->tasks_completed(), result.metrics->tasks_submitted());
+}
+
+TEST(ExperimentTest, ThroughputMatchesCompletionsPerWindow) {
+  ExperimentResult result = RunExperiment(TinyConfig());
+  const double window_seconds = ToSeconds(FromMillis(20) - FromMillis(2));
+  EXPECT_NEAR(result.throughput_tps,
+              static_cast<double>(result.metrics->tasks_completed()) / window_seconds,
+              1.0);
+}
+
+TEST(ExperimentTest, TextbookDequeueModeIsWiredThrough) {
+  ExperimentConfig config = TinyConfig();
+  config.shadow_copy_dequeue = false;
+  ExperimentResult result = RunExperiment(config);
+  // The textbook dequeue repairs the retrieve pointer after empty-queue
+  // dips; at 50% load there are plenty.
+  EXPECT_GT(result.draconis.retrieve_repairs, 0u);
+
+  config.shadow_copy_dequeue = true;
+  ExperimentResult shadow = RunExperiment(config);
+  EXPECT_EQ(shadow.draconis.retrieve_repairs, 0u);
+}
+
+TEST(ExperimentTest, RackSchedIntraPolicyIsWiredThrough) {
+  ExperimentConfig config = TinyConfig(64000.0);  // 80%: queues form
+  config.scheduler = SchedulerKind::kRackSched;
+  config.racksched_intra_policy = baselines::IntraNodePolicy::kProcessorSharing;
+  ExperimentResult ps = RunExperiment(config);
+  config.racksched_intra_policy = baselines::IntraNodePolicy::kFcfs;
+  ExperimentResult fcfs = RunExperiment(config);
+  // Both complete the work; PS has the (weakly) smaller queueing tail.
+  EXPECT_GT(ps.metrics->tasks_completed(), 0u);
+  EXPECT_LE(ps.metrics->sched_delay().Percentile(0.99),
+            fcfs.metrics->sched_delay().Percentile(0.99));
+}
+
+TEST(ExperimentTest, PipelineOverridesAreHonored) {
+  ExperimentConfig config = TinyConfig();
+  config.scheduler = SchedulerKind::kR2P2;
+  config.jbsq_k = 1;
+  // Choke the loopback port completely: any spin drops immediately.
+  config.pipeline.recirc_rate_pps = 1e3;
+  config.pipeline.recirc_queue_depth = 1;
+  ExperimentConfig heavy = config;
+  heavy.stream = [] {
+    workload::OpenLoopSpec spec;
+    spec.tasks_per_second = 76000.0;  // ~95% of 8 executors
+    spec.duration = FromMillis(20);
+    spec.service = workload::ServiceTime::Fixed(FromMicros(100));
+    spec.seed = 3;
+    return workload::GenerateOpenLoop(spec);
+  }();
+  ExperimentResult result = RunExperiment(heavy);
+  EXPECT_GT(result.recirc_drops, 0u);
+}
+
+TEST(ExperimentTest, SparrowMultiSchedulerDeploysDistinctServers) {
+  ExperimentConfig config = TinyConfig();
+  config.scheduler = SchedulerKind::kSparrow;
+  config.num_schedulers = 2;
+  ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.sparrow.tasks_launched, 0u);
+  EXPECT_GE(result.metrics->tasks_completed(), result.metrics->tasks_submitted() * 97 / 100);
+}
+
+TEST(ExperimentTest, SeedChangesWorkloadButNotShape) {
+  ExperimentConfig a = TinyConfig();
+  a.seed = 1;
+  ExperimentConfig b = TinyConfig();
+  b.seed = 2;
+  ExperimentResult ra = RunExperiment(a);
+  ExperimentResult rb = RunExperiment(b);
+  EXPECT_GT(ra.metrics->tasks_completed(), 0u);
+  EXPECT_GT(rb.metrics->tasks_completed(), 0u);
+  // Network jitter differs by seed, so pass counts differ.
+  EXPECT_NE(ra.switch_counters.emitted, rb.switch_counters.emitted);
+}
+
+}  // namespace
+}  // namespace draconis::cluster

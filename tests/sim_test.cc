@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace draconis::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.Now(), 0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.At(30, [&] { order.push_back(3); });
+  s.At(10, [&] { order.push_back(1); });
+  s.At(20, [&] { order.push_back(2); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 30);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunInSchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.At(5, [&order, i] { order.push_back(i); });
+  }
+  s.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, AfterIsRelative) {
+  Simulator s;
+  TimeNs fired_at = -1;
+  s.At(100, [&] { s.After(50, [&] { fired_at = s.Now(); }); });
+  s.RunAll();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulator s;
+  int fired = 0;
+  s.At(10, [&] { ++fired; });
+  s.At(20, [&] { ++fired; });
+  s.At(21, [&] { ++fired; });
+  const uint64_t ran = s.RunUntil(20);
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.Now(), 20);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator s;
+  s.RunUntil(1000);
+  EXPECT_EQ(s.Now(), 1000);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) {
+      s.After(1, chain);
+    }
+  };
+  s.After(1, chain);
+  s.RunAll();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.Now(), 100);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator s;
+  s.At(100, [] {});
+  s.RunAll();
+  EXPECT_THROW(s.At(50, [] {}), CheckFailure);
+}
+
+TEST(SimulatorTest, NegativeDelayThrows) {
+  Simulator s;
+  EXPECT_THROW(s.After(-1, [] {}), CheckFailure);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  EventHandle h = s.CancellableAfter(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+  s.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFiringIsSafe) {
+  Simulator s;
+  bool fired = false;
+  EventHandle h = s.CancellableAfter(10, [&] { fired = true; });
+  s.RunAll();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(h.pending());
+  h.Cancel();  // no effect, no crash
+}
+
+TEST(SimulatorTest, DefaultConstructedHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.Cancel();
+}
+
+TEST(SimulatorTest, ClearDropsPendingEvents) {
+  Simulator s;
+  int fired = 0;
+  s.At(10, [&] { ++fired; });
+  s.At(20, [&] { ++fired; });
+  s.Clear();
+  s.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, ClearFromWithinEventStopsTheRun) {
+  Simulator s;
+  int fired = 0;
+  s.At(10, [&] {
+    ++fired;
+    s.Clear();
+  });
+  s.At(20, [&] { ++fired; });
+  s.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, ExecutedEventsCounter) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) {
+    s.At(i, [] {});
+  }
+  s.RunAll();
+  EXPECT_EQ(s.executed_events(), 5u);
+}
+
+TEST(SimulatorTest, CancelledEventsAreNotCountedAsExecuted) {
+  Simulator s;
+  EventHandle h = s.CancellableAt(5, [] {});
+  h.Cancel();
+  s.At(6, [] {});
+  s.RunAll();
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+}  // namespace
+}  // namespace draconis::sim

@@ -1,0 +1,518 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/switch_queue.h"
+#include "p4/register.h"
+
+namespace draconis::core {
+namespace {
+
+QueueEntry MakeEntry(uint32_t tid, net::NodeId client = 5) {
+  QueueEntry e;
+  e.task.id = net::TaskId{1, 1, tid};
+  e.task.meta.exec_duration = 100;
+  e.client = client;
+  e.valid = true;
+  return e;
+}
+
+// Convenience wrappers: each queue operation runs in its own pass, as it
+// would on hardware.
+SwitchQueue::EnqueueResult Enq(SwitchQueue& q, uint32_t tid) {
+  p4::PacketPass pass;
+  return q.Enqueue(pass, MakeEntry(tid));
+}
+
+SwitchQueue::DequeueResult Deq(SwitchQueue& q) {
+  p4::PacketPass pass;
+  return q.Dequeue(pass);
+}
+
+void Repair(SwitchQueue& q, net::RepairTarget target, uint64_t value) {
+  p4::PacketPass pass;
+  q.ApplyRepair(pass, target, value);
+}
+
+TEST(SwitchQueueTest, StartsEmpty) {
+  SwitchQueue q("q", 8);
+  EXPECT_EQ(q.cp_occupancy(), 0u);
+  EXPECT_EQ(q.cp_add_ptr(), 0u);
+  EXPECT_EQ(q.cp_retrieve_ptr(), 0u);
+}
+
+TEST(SwitchQueueTest, EnqueueDequeueRoundTrip) {
+  SwitchQueue q("q", 8);
+  auto enq = Enq(q, 7);
+  EXPECT_TRUE(enq.added);
+  EXPECT_EQ(enq.slot, 0u);
+  EXPECT_EQ(q.cp_occupancy(), 1u);
+
+  auto deq = Deq(q);
+  ASSERT_TRUE(deq.got_task);
+  EXPECT_EQ(deq.entry.task.id.tid, 7u);
+  EXPECT_EQ(deq.entry.client, 5u);
+  EXPECT_EQ(q.cp_occupancy(), 0u);
+}
+
+TEST(SwitchQueueTest, FcfsOrderPreserved) {
+  SwitchQueue q("q", 16);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(Enq(q, i).added);
+  }
+  for (uint32_t i = 0; i < 10; ++i) {
+    auto deq = Deq(q);
+    ASSERT_TRUE(deq.got_task);
+    EXPECT_EQ(deq.entry.task.id.tid, i);
+  }
+}
+
+TEST(SwitchQueueTest, WrapsAroundCapacity) {
+  SwitchQueue q("q", 4);
+  for (uint32_t round = 0; round < 5; ++round) {
+    for (uint32_t i = 0; i < 4; ++i) {
+      EXPECT_TRUE(Enq(q, round * 4 + i).added);
+    }
+    for (uint32_t i = 0; i < 4; ++i) {
+      auto deq = Deq(q);
+      ASSERT_TRUE(deq.got_task);
+      EXPECT_EQ(deq.entry.task.id.tid, round * 4 + i);
+    }
+  }
+  EXPECT_EQ(q.cp_add_ptr(), 20u);
+}
+
+TEST(SwitchQueueTest, EachOperationUsesEachRegisterAtMostOnce) {
+  // An enqueue and a dequeue must both fit in a single pipeline pass.
+  SwitchQueue q("q", 8);
+  p4::PacketPass enq_pass;
+  EXPECT_NO_THROW(q.Enqueue(enq_pass, MakeEntry(0)));
+  p4::PacketPass deq_pass;
+  EXPECT_NO_THROW(q.Dequeue(deq_pass));
+}
+
+TEST(SwitchQueueTest, TwoQueueOpsInOnePassAreRejected) {
+  // Two dequeues through one packet would double-access retrieve_ptr — the
+  // queue must detect the contract violation.
+  SwitchQueue q("q", 8);
+  Enq(q, 0);
+  Enq(q, 1);
+  p4::PacketPass pass;
+  q.Dequeue(pass);
+  EXPECT_THROW(q.Dequeue(pass), draconis::CheckFailure);
+}
+
+// --- Full-queue handling and add-pointer repair (§4.5, §4.7.1) -------------
+
+TEST(SwitchQueueTest, FullQueueRefusesAndRequestsRepair) {
+  SwitchQueue q("q", 2);
+  EXPECT_TRUE(Enq(q, 0).added);
+  EXPECT_TRUE(Enq(q, 1).added);
+
+  auto full = Enq(q, 2);
+  EXPECT_FALSE(full.added);
+  EXPECT_TRUE(full.need_add_repair);
+  EXPECT_EQ(full.add_repair_value, 2u);
+  EXPECT_TRUE(q.cp_add_repair_flag());
+  // The mistake is visible until the repair lands.
+  EXPECT_EQ(q.cp_add_ptr(), 3u);
+}
+
+TEST(SwitchQueueTest, OnlyFirstDetectorLaunchesAddRepair) {
+  SwitchQueue q("q", 2);
+  Enq(q, 0);
+  Enq(q, 1);
+  auto first = Enq(q, 2);
+  auto second = Enq(q, 3);
+  EXPECT_TRUE(first.need_add_repair);
+  EXPECT_FALSE(second.need_add_repair);
+  EXPECT_FALSE(second.added);
+}
+
+TEST(SwitchQueueTest, AddRepairRestoresPointerAndFlag) {
+  SwitchQueue q("q", 2);
+  Enq(q, 0);
+  Enq(q, 1);
+  auto full = Enq(q, 2);
+  Repair(q, net::RepairTarget::kAddPtr, full.add_repair_value);
+  EXPECT_EQ(q.cp_add_ptr(), 2u);
+  EXPECT_FALSE(q.cp_add_repair_flag());
+  EXPECT_EQ(q.cp_occupancy(), 2u);
+}
+
+TEST(SwitchQueueTest, SubmissionWhileAddRepairPendingIsRefusedEvenIfSpaceFreed) {
+  // A dequeue makes space while the add repair is still in flight; writing
+  // through the inflated pointer would be undone by the repair, so the
+  // submission must be refused.
+  SwitchQueue q("q", 2);
+  Enq(q, 0);
+  Enq(q, 1);
+  auto full = Enq(q, 2);  // flag set, repair pending
+  ASSERT_TRUE(full.need_add_repair);
+  ASSERT_TRUE(Deq(q).got_task);  // space appears
+
+  auto blocked = Enq(q, 3);
+  EXPECT_FALSE(blocked.added);
+  EXPECT_FALSE(blocked.need_add_repair);  // repair already owned elsewhere
+
+  // After the repair lands, submissions succeed again.
+  Repair(q, net::RepairTarget::kAddPtr, full.add_repair_value);
+  EXPECT_TRUE(Enq(q, 3).added);
+}
+
+TEST(SwitchQueueTest, QueueUsableAfterFullEpisode) {
+  SwitchQueue q("q", 2);
+  Enq(q, 0);
+  Enq(q, 1);
+  auto full = Enq(q, 2);
+  Repair(q, net::RepairTarget::kAddPtr, full.add_repair_value);
+
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 0u);
+  EXPECT_TRUE(Enq(q, 9).added);
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 1u);
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 9u);
+}
+
+// --- Empty-queue handling and retrieve-pointer repair (§4.5, §4.7.2) -------
+
+TEST(SwitchQueueTest, DequeueOnEmptyReturnsNothingAndOverruns) {
+  SwitchQueue q("q", 8, nullptr, /*shadow_copy_dequeue=*/false);
+  auto deq = Deq(q);
+  EXPECT_FALSE(deq.got_task);
+  EXPECT_FALSE(deq.repair_pending);
+  EXPECT_EQ(q.cp_retrieve_ptr(), 1u);  // the deliberate mistake
+}
+
+TEST(SwitchQueueTest, NextEnqueueDetectsOverrunAndRequestsRepair) {
+  SwitchQueue q("q", 8, nullptr, /*shadow_copy_dequeue=*/false);
+  Deq(q);
+  Deq(q);
+  Deq(q);  // retrieve_ptr = 3, add_ptr = 0
+
+  auto enq = Enq(q, 42);
+  EXPECT_TRUE(enq.added);
+  EXPECT_EQ(enq.slot, 0u);
+  EXPECT_TRUE(enq.need_retrieve_repair);
+  EXPECT_EQ(enq.retrieve_repair_value, 0u);  // snap to the new task
+  EXPECT_TRUE(q.cp_retrieve_repair_flag());
+}
+
+TEST(SwitchQueueTest, DequeueWhileRetrieveRepairPendingIsNoOp) {
+  SwitchQueue q("q", 8, nullptr, /*shadow_copy_dequeue=*/false);
+  Deq(q);
+  auto enq = Enq(q, 42);
+  ASSERT_TRUE(enq.need_retrieve_repair);
+
+  auto deq = Deq(q);
+  EXPECT_FALSE(deq.got_task);
+  EXPECT_TRUE(deq.repair_pending);
+}
+
+TEST(SwitchQueueTest, RetrieveRepairMakesTaskRetrievable) {
+  SwitchQueue q("q", 8, nullptr, /*shadow_copy_dequeue=*/false);
+  for (int i = 0; i < 5; ++i) {
+    Deq(q);
+  }
+  auto enq = Enq(q, 42);
+  ASSERT_TRUE(enq.need_retrieve_repair);
+  Repair(q, net::RepairTarget::kRetrievePtr, enq.retrieve_repair_value);
+  EXPECT_FALSE(q.cp_retrieve_repair_flag());
+
+  auto deq = Deq(q);
+  ASSERT_TRUE(deq.got_task);
+  EXPECT_EQ(deq.entry.task.id.tid, 42u);
+}
+
+TEST(SwitchQueueTest, SubmissionsDuringPendingRetrieveRepairUseTheHint) {
+  // While the retrieve pointer is garbage (repair in flight) the fullness
+  // check runs against the repair-target hint, so concurrent submissions
+  // are still accepted and their tasks retrievable once the repair lands.
+  SwitchQueue q("q", 8, nullptr, /*shadow_copy_dequeue=*/false);
+  Deq(q);
+  Deq(q);
+  auto first = Enq(q, 1);  // overrun detector: writes and owns the repair
+  EXPECT_TRUE(first.added);
+  EXPECT_TRUE(first.need_retrieve_repair);
+
+  auto second = Enq(q, 2);  // racing the repair: hint says occupancy 1 < 8
+  EXPECT_TRUE(second.added);
+  EXPECT_FALSE(second.need_retrieve_repair);
+
+  Repair(q, net::RepairTarget::kRetrievePtr, first.retrieve_repair_value);
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 1u);
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 2u);
+  EXPECT_FALSE(Deq(q).got_task);
+}
+
+TEST(SwitchQueueTest, PendingRetrieveRepairCannotCauseOverwrite) {
+  // The interleaving the fuzzer found: overrun, then submissions racing the
+  // pending retrieve repair on a tiny queue. Without the hint register the
+  // fullness check would pass bogusly and the write would overwrite a live
+  // entry after wraparound.
+  SwitchQueue q("q", 2, nullptr, /*shadow_copy_dequeue=*/false);
+  Enq(q, 0);
+  ASSERT_TRUE(Deq(q).got_task);
+  Deq(q);  // miss: overrun (rptr = 2, add = 1)
+  Deq(q);  // further overrun
+
+  auto t4 = Enq(q, 4);  // overrun detector: writes slot 1, repair -> 1 pending
+  ASSERT_TRUE(t4.added);
+  ASSERT_TRUE(t4.need_retrieve_repair);
+  auto t5 = Enq(q, 5);  // hint occupancy 1 < 2: accepted at slot 2 (cell 0)
+  EXPECT_TRUE(t5.added);
+  auto t6 = Enq(q, 6);  // hint occupancy 2: genuinely full now -> refused
+  EXPECT_FALSE(t6.added);
+  EXPECT_TRUE(t6.need_add_repair);
+
+  Repair(q, net::RepairTarget::kRetrievePtr, t4.retrieve_repair_value);
+  Repair(q, net::RepairTarget::kAddPtr, t6.add_repair_value);
+
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 4u);  // alive, not overwritten
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 5u);
+  EXPECT_FALSE(Deq(q).got_task);
+}
+
+TEST(SwitchQueueTest, MassiveOverrunIsRepairedByAbsoluteWrite) {
+  SwitchQueue q("q", 4, nullptr, /*shadow_copy_dequeue=*/false);
+  for (int i = 0; i < 100; ++i) {
+    Deq(q);  // idle pollers hammer an empty queue; overrun >> capacity
+  }
+  EXPECT_EQ(q.cp_retrieve_ptr(), 100u);
+  auto enq = Enq(q, 7);
+  ASSERT_TRUE(enq.need_retrieve_repair);
+  Repair(q, net::RepairTarget::kRetrievePtr, enq.retrieve_repair_value);
+  auto deq = Deq(q);
+  ASSERT_TRUE(deq.got_task);
+  EXPECT_EQ(deq.entry.task.id.tid, 7u);
+}
+
+TEST(SwitchQueueTest, DequeueClearsSlotPreventingStaleRedelivery) {
+  // After wraparound, a consumed slot must not look valid again.
+  SwitchQueue q("q", 2, nullptr, /*shadow_copy_dequeue=*/false);
+  Enq(q, 0);
+  ASSERT_TRUE(Deq(q).got_task);
+  ASSERT_FALSE(Deq(q).got_task);  // overrun: rptr=2, add=1
+  auto enq = Enq(q, 1);            // slot 1
+  ASSERT_TRUE(enq.need_retrieve_repair);
+  Repair(q, net::RepairTarget::kRetrievePtr, enq.retrieve_repair_value);
+  auto deq = Deq(q);
+  ASSERT_TRUE(deq.got_task);
+  EXPECT_EQ(deq.entry.task.id.tid, 1u);
+  // Slot 0 (same physical cell as slot 2) was cleared by its dequeue: a
+  // further dequeue must see empty, not the stale task 0.
+  EXPECT_FALSE(Deq(q).got_task);
+}
+
+// --- Task swapping (§5.1) ---------------------------------------------------
+
+TEST(SwitchQueueTest, SwapExchangesWithTargetSlot) {
+  SwitchQueue q("q", 8);
+  Enq(q, 0);
+  Enq(q, 1);
+  Enq(q, 2);
+  auto deq = Deq(q);  // pops task 0; rptr = 1
+  ASSERT_TRUE(deq.got_task);
+
+  p4::PacketPass pass;
+  auto swap = q.SwapAt(pass, 1, 1, deq.entry);  // put task 0 at slot 1, take task 1
+  EXPECT_TRUE(swap.swapped);
+  EXPECT_EQ(swap.previous.task.id.tid, 1u);
+  EXPECT_EQ(swap.slot, 1u);
+
+  // Queue order is now task0 (slot 1), task2 (slot 2).
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 0u);
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 2u);
+}
+
+TEST(SwitchQueueTest, SwapDoesNotMovePointers) {
+  SwitchQueue q("q", 8);
+  Enq(q, 0);
+  Enq(q, 1);
+  auto deq = Deq(q);
+  const uint64_t add = q.cp_add_ptr();
+  const uint64_t rptr = q.cp_retrieve_ptr();
+  p4::PacketPass pass;
+  q.SwapAt(pass, rptr, 1, deq.entry);
+  EXPECT_EQ(q.cp_add_ptr(), add);
+  EXPECT_EQ(q.cp_retrieve_ptr(), rptr);
+}
+
+TEST(SwitchQueueTest, SwapPastEndReportsAndWritesNothing) {
+  SwitchQueue q("q", 8);
+  Enq(q, 0);
+  auto deq = Deq(q);  // queue now empty; add = 1, rptr = 1
+  p4::PacketPass pass;
+  auto swap = q.SwapAt(pass, 1, 1, deq.entry);
+  EXPECT_TRUE(swap.past_end);
+  EXPECT_FALSE(swap.swapped);
+  EXPECT_EQ(q.cp_occupancy(), 0u);
+}
+
+TEST(SwitchQueueTest, StaleSwapRedirectsToHead) {
+  SwitchQueue q("q", 8);
+  for (uint32_t i = 0; i < 4; ++i) {
+    Enq(q, i);
+  }
+  auto deq = Deq(q);  // pops 0; rptr = 1
+
+  // Another two requests drain tasks 1 and 2 while the swap walk is parked.
+  Deq(q);
+  Deq(q);  // rptr = 3
+
+  // The walk wants slot 1, but its pkt_retrieve_ptr (1) is stale (< 3):
+  // the queue must swap with the head (slot 3) instead, otherwise the
+  // carried task would land behind the retrieve pointer and be lost.
+  p4::PacketPass pass;
+  auto swap = q.SwapAt(pass, 1, 1, deq.entry);
+  EXPECT_TRUE(swap.swapped);
+  EXPECT_EQ(swap.slot, 3u);
+  EXPECT_EQ(swap.previous.task.id.tid, 3u);
+  EXPECT_EQ(swap.head, 3u);
+
+  // The carried task 0 is now at the head and retrievable.
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 0u);
+}
+
+TEST(SwitchQueueTest, SwapPreservesRelativeOrderOfRemainingTasks) {
+  SwitchQueue q("q", 8);
+  for (uint32_t i = 0; i < 4; ++i) {
+    Enq(q, i);
+  }
+  auto deq = Deq(q);  // pops 0
+  p4::PacketPass p1;
+  auto s1 = q.SwapAt(p1, 1, 1, deq.entry);  // 0 <-> 1
+  p4::PacketPass p2;
+  auto s2 = q.SwapAt(p2, 1, 2, s1.previous);  // 1 <-> 2
+  ASSERT_TRUE(s2.swapped);
+  EXPECT_EQ(s2.previous.task.id.tid, 2u);
+  // Remaining queue order: 0, 1, 3.
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 0u);
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 1u);
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 3u);
+}
+
+TEST(SwitchQueueTest, SwapIsSingleAccessPerPass) {
+  SwitchQueue q("q", 8);
+  Enq(q, 0);
+  Enq(q, 1);
+  auto deq = Deq(q);
+  p4::PacketPass pass;
+  q.SwapAt(pass, 1, 1, deq.entry);
+  // A second swap through the same pass must violate the register budget.
+  EXPECT_THROW(q.SwapAt(pass, 1, 1, MakeEntry(9)), draconis::CheckFailure);
+}
+
+TEST(SwitchQueueTest, InvalidEntriesAreRejected) {
+  SwitchQueue q("q", 8);
+  QueueEntry invalid;
+  p4::PacketPass pass;
+  EXPECT_THROW(q.Enqueue(pass, invalid), draconis::CheckFailure);
+}
+
+TEST(SwitchQueueTest, LongRunModularIndexingStaysConsistent) {
+  // Thousands of wraps over a small odd capacity: pointers grow
+  // monotonically while slots cycle; order and conservation must hold.
+  SwitchQueue q("q", 5);
+  uint32_t produced = 0;
+  uint32_t consumed = 0;
+  for (int round = 0; round < 3000; ++round) {
+    const int in_flight = static_cast<int>(produced - consumed);
+    const int to_add = (round * 7 % 5) - in_flight + 2;  // varies occupancy 0..5
+    for (int i = 0; i < to_add; ++i) {
+      p4::PacketPass pass;
+      if (q.Enqueue(pass, MakeEntry(produced)).added) {
+        ++produced;
+      }
+    }
+    const int to_take = round % 3;
+    for (int i = 0; i < to_take; ++i) {
+      p4::PacketPass pass;
+      auto res = q.Dequeue(pass);
+      if (res.got_task) {
+        ASSERT_EQ(res.entry.task.id.tid, consumed);
+        ++consumed;
+      }
+    }
+  }
+  // Drain.
+  while (consumed < produced) {
+    p4::PacketPass pass;
+    auto res = q.Dequeue(pass);
+    ASSERT_TRUE(res.got_task);
+    ASSERT_EQ(res.entry.task.id.tid, consumed);
+    ++consumed;
+  }
+  EXPECT_GT(q.cp_add_ptr(), 2000u);  // many wraps actually happened
+}
+
+TEST(SwitchQueueTest, LedgerAccountsQueueMemory) {
+  p4::ResourceLedger ledger;
+  SwitchQueue q("q", 1024, &ledger);
+  // entries + two pointers + shadow add pointer + combined repair state
+  EXPECT_EQ(ledger.entries().size(), 5u);
+  EXPECT_EQ(ledger.total_bytes(), 1024 * QueueEntry::kWireSize + 8 + 8 + 8 + 8);
+}
+
+// --- Shadow-copy dequeue (production mode, see switch_queue.h) --------------
+
+TEST(SwitchQueueTest, ShadowModeEmptyDequeueDoesNotOverrun) {
+  SwitchQueue q("q", 8);  // shadow mode is the default
+  for (int i = 0; i < 100; ++i) {
+    auto deq = Deq(q);
+    EXPECT_FALSE(deq.got_task);
+  }
+  // The pointer never moved: polling an empty queue makes no mistake.
+  EXPECT_EQ(q.cp_retrieve_ptr(), 0u);
+}
+
+TEST(SwitchQueueTest, ShadowModeEnqueueAfterPollingNeedsNoRepair) {
+  SwitchQueue q("q", 8);
+  for (int i = 0; i < 50; ++i) {
+    Deq(q);
+  }
+  auto enq = Enq(q, 42);
+  EXPECT_TRUE(enq.added);
+  EXPECT_FALSE(enq.need_retrieve_repair);
+  auto deq = Deq(q);
+  ASSERT_TRUE(deq.got_task);
+  EXPECT_EQ(deq.entry.task.id.tid, 42u);
+}
+
+TEST(SwitchQueueTest, ShadowModeInterleavedPollsAndEnqueues) {
+  SwitchQueue q("q", 4);
+  for (uint32_t i = 0; i < 20; ++i) {
+    Deq(q);  // poll empty
+    EXPECT_TRUE(Enq(q, i).added);
+    Deq(q);  // poll: gets the task
+    auto deq = Deq(q);  // poll empty again
+    EXPECT_FALSE(deq.got_task);
+  }
+  EXPECT_EQ(q.cp_occupancy(), 0u);
+  EXPECT_EQ(q.cp_add_ptr(), 20u);
+  EXPECT_EQ(q.cp_retrieve_ptr(), 20u);
+}
+
+TEST(SwitchQueueTest, ShadowModeFullQueueMistakeDoesNotInflateShadow) {
+  // A full-queue add_ptr mistake must not let dequeues chase phantom slots.
+  SwitchQueue q("q", 2);
+  Enq(q, 0);
+  Enq(q, 1);
+  auto full = Enq(q, 2);  // mistake: add_ptr = 3, but shadow stays at 2
+  ASSERT_TRUE(full.need_add_repair);
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 0u);
+  EXPECT_EQ(Deq(q).entry.task.id.tid, 1u);
+  auto deq = Deq(q);  // beyond the shadow: clean empty, no phantom slot
+  EXPECT_FALSE(deq.got_task);
+  EXPECT_EQ(q.cp_retrieve_ptr(), 2u);
+}
+
+TEST(SwitchQueueTest, ShadowModeSingleAccessPerRegisterStillHolds) {
+  SwitchQueue q("q", 8);
+  Enq(q, 0);
+  p4::PacketPass pass;
+  EXPECT_NO_THROW(q.Dequeue(pass));
+  // The same pass cannot run a second dequeue (flag register re-access).
+  EXPECT_THROW(q.Dequeue(pass), draconis::CheckFailure);
+}
+
+}  // namespace
+}  // namespace draconis::core

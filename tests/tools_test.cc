@@ -1,0 +1,253 @@
+// Tests for the supporting tooling: the flag parser, the packet tracer, and
+// trace file I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/draconis_program.h"
+#include "core/policy.h"
+#include "net/network.h"
+#include "p4/tracing.h"
+#include "sim/simulator.h"
+#include "workload/generators.h"
+#include "workload/trace_io.h"
+
+namespace draconis {
+namespace {
+
+// --- flags -------------------------------------------------------------------
+
+struct FlagsFixture {
+  double rate = 1.5;
+  int64_t workers = 10;
+  bool verbose = false;
+  std::string name = "default";
+  flags::Parser parser{"test program"};
+
+  FlagsFixture() {
+    parser.AddDouble("rate", &rate, "a rate");
+    parser.AddInt64("workers", &workers, "worker count");
+    parser.AddBool("verbose", &verbose, "chatty output");
+    parser.AddString("name", &name, "a label");
+  }
+
+  bool Parse(std::vector<const char*> args, std::string* error) {
+    args.insert(args.begin(), "prog");
+    return parser.Parse(static_cast<int>(args.size()), args.data(), error);
+  }
+};
+
+TEST(FlagsTest, DefaultsSurviveEmptyArgs) {
+  FlagsFixture f;
+  std::string error;
+  EXPECT_TRUE(f.Parse({}, &error)) << error;
+  EXPECT_DOUBLE_EQ(f.rate, 1.5);
+  EXPECT_EQ(f.workers, 10);
+  EXPECT_FALSE(f.verbose);
+  EXPECT_EQ(f.name, "default");
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagsFixture f;
+  std::string error;
+  ASSERT_TRUE(f.Parse({"--rate=2.75", "--workers=160", "--name=fig5a"}, &error)) << error;
+  EXPECT_DOUBLE_EQ(f.rate, 2.75);
+  EXPECT_EQ(f.workers, 160);
+  EXPECT_EQ(f.name, "fig5a");
+}
+
+TEST(FlagsTest, SpaceForm) {
+  FlagsFixture f;
+  std::string error;
+  ASSERT_TRUE(f.Parse({"--workers", "42"}, &error)) << error;
+  EXPECT_EQ(f.workers, 42);
+}
+
+TEST(FlagsTest, BareBooleanEnables) {
+  FlagsFixture f;
+  std::string error;
+  ASSERT_TRUE(f.Parse({"--verbose"}, &error)) << error;
+  EXPECT_TRUE(f.verbose);
+}
+
+TEST(FlagsTest, ExplicitBooleanValues) {
+  FlagsFixture f;
+  std::string error;
+  ASSERT_TRUE(f.Parse({"--verbose=true"}, &error));
+  EXPECT_TRUE(f.verbose);
+  ASSERT_TRUE(f.Parse({"--verbose=false"}, &error));
+  EXPECT_FALSE(f.verbose);
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagsFixture f;
+  std::string error;
+  EXPECT_FALSE(f.Parse({"--nope=1"}, &error));
+  EXPECT_NE(error.find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagsTest, BadValueFails) {
+  FlagsFixture f;
+  std::string error;
+  EXPECT_FALSE(f.Parse({"--workers=ten"}, &error));
+  EXPECT_NE(error.find("bad value"), std::string::npos);
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagsFixture f;
+  std::string error;
+  EXPECT_FALSE(f.Parse({"--workers"}, &error));
+}
+
+TEST(FlagsTest, HelpShortCircuits) {
+  FlagsFixture f;
+  std::string error;
+  ASSERT_TRUE(f.Parse({"--help"}, &error));
+  EXPECT_TRUE(f.parser.help_requested());
+  EXPECT_NE(f.parser.Usage().find("--workers"), std::string::npos);
+}
+
+// --- tracer ------------------------------------------------------------------
+
+TEST(TracingTest, RecordsPassesThroughToInnerProgram) {
+  sim::Simulator simulator;
+  net::NetworkConfig nc;
+  nc.max_jitter = 0;
+  net::Network network(&simulator, nc);
+  core::FcfsPolicy policy;
+  core::DraconisProgram program(&policy, core::DraconisConfig{});
+  p4::TracingProgram tracer(&program, 16);
+  p4::SwitchPipeline pipeline(&simulator, &tracer, p4::PipelineConfig{});
+  const net::NodeId sw = pipeline.AttachNetwork(&network);
+
+  class Sink : public net::Endpoint {
+   public:
+    void HandlePacket(net::Packet) override {}
+  } sink;
+  const net::NodeId client = network.Register(&sink, net::HostProfile::Wire());
+
+  net::Packet submission;
+  submission.op = net::OpCode::kJobSubmission;
+  submission.dst = sw;
+  net::TaskInfo task;
+  task.id = net::TaskId{1, 1, 1};
+  submission.tasks = {task};
+  network.Send(client, std::move(submission));
+  simulator.RunAll();
+
+  EXPECT_EQ(program.counters().tasks_enqueued, 1u);  // the inner program ran
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].op, net::OpCode::kJobSubmission);
+  EXPECT_NE(tracer.events()[0].summary.find("job_submission"), std::string::npos);
+}
+
+TEST(TracingTest, FilterAndEviction) {
+  sim::Simulator simulator;
+  net::NetworkConfig nc;
+  nc.max_jitter = 0;
+  net::Network network(&simulator, nc);
+  core::FcfsPolicy policy;
+  core::DraconisProgram program(&policy, core::DraconisConfig{});
+  p4::TracingProgram tracer(&program, /*capacity=*/3);
+  tracer.SetFilter(
+      [](const net::Packet& pkt) { return pkt.op == net::OpCode::kTaskRequest; });
+  p4::SwitchPipeline pipeline(&simulator, &tracer, p4::PipelineConfig{});
+  const net::NodeId sw = pipeline.AttachNetwork(&network);
+
+  class Sink : public net::Endpoint {
+   public:
+    void HandlePacket(net::Packet) override {}
+  } sink;
+  const net::NodeId node = network.Register(&sink, net::HostProfile::Wire());
+
+  for (int i = 0; i < 5; ++i) {
+    net::Packet request;
+    request.op = net::OpCode::kTaskRequest;
+    request.dst = sw;
+    request.rtrv_prio = 1;
+    network.Send(node, std::move(request));
+  }
+  net::Packet other;
+  other.op = net::OpCode::kOther;
+  other.dst = sw;
+  network.Send(node, std::move(other));
+  simulator.RunAll();
+
+  EXPECT_EQ(tracer.recorded(), 5u);         // the kOther packet was filtered
+  EXPECT_EQ(tracer.events().size(), 3u);    // ring capacity
+}
+
+// --- trace I/O ----------------------------------------------------------------
+
+TEST(TraceIoTest, RoundTrip) {
+  workload::OpenLoopSpec spec;
+  spec.tasks_per_second = 50000;
+  spec.duration = FromMillis(5);
+  spec.tasks_per_job = 3;
+  spec.seed = 99;
+  workload::JobStream original = workload::GenerateOpenLoop(spec);
+  original[0].tasks[0].tprops = 7;
+  original[0].tasks[1].oversized_param_bytes = 4096;
+
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.csv";
+  ASSERT_TRUE(workload::SaveJobStream(path, original));
+
+  workload::JobStream loaded;
+  std::string error;
+  ASSERT_TRUE(workload::LoadJobStream(path, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t j = 0; j < original.size(); ++j) {
+    EXPECT_EQ(loaded[j].at, original[j].at);
+    ASSERT_EQ(loaded[j].tasks.size(), original[j].tasks.size());
+    for (size_t t = 0; t < original[j].tasks.size(); ++t) {
+      EXPECT_EQ(loaded[j].tasks[t].duration, original[j].tasks[t].duration);
+      EXPECT_EQ(loaded[j].tasks[t].tprops, original[j].tasks[t].tprops);
+      EXPECT_EQ(loaded[j].tasks[t].oversized_param_bytes,
+                original[j].tasks[t].oversized_param_bytes);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, HandAuthoredMinimalColumns) {
+  const std::string path = ::testing::TempDir() + "/trace_minimal.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "# comment\n0,1000,100000,2\n0,1000,200000,1\n1,5000,50000,0\n");
+  std::fclose(f);
+
+  workload::JobStream stream;
+  std::string error;
+  ASSERT_TRUE(workload::LoadJobStream(path, &stream, &error)) << error;
+  ASSERT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream[0].at, 1000);
+  EXPECT_EQ(stream[0].tasks.size(), 2u);
+  EXPECT_EQ(stream[0].tasks[1].duration, 200000);
+  EXPECT_EQ(stream[1].tasks[0].tprops, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsUnsortedArrivals) {
+  const std::string path = ::testing::TempDir() + "/trace_unsorted.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "0,5000,100,0\n1,1000,100,0\n");
+  std::fclose(f);
+
+  workload::JobStream stream;
+  std::string error;
+  EXPECT_FALSE(workload::LoadJobStream(path, &stream, &error));
+  EXPECT_NE(error.find("not sorted"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  workload::JobStream stream;
+  std::string error;
+  EXPECT_FALSE(workload::LoadJobStream("/nonexistent/trace.csv", &stream, &error));
+}
+
+}  // namespace
+}  // namespace draconis

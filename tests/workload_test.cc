@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "workload/generators.h"
+#include "workload/google_trace.h"
+#include "workload/service_time.h"
+
+namespace draconis::workload {
+namespace {
+
+// --- ServiceTime -------------------------------------------------------------
+
+TEST(ServiceTimeTest, FixedAlwaysSame) {
+  ServiceTime st = ServiceTime::Fixed(FromMicros(250));
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(st.Sample(rng), FromMicros(250));
+  }
+  EXPECT_EQ(st.Mean(), FromMicros(250));
+}
+
+TEST(ServiceTimeTest, BimodalHitsBothModes) {
+  ServiceTime st = ServiceTime::PaperBimodal();
+  Rng rng(2);
+  std::map<TimeNs, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    counts[st.Sample(rng)]++;
+  }
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_NEAR(counts[FromMicros(100)], 5000, 300);
+  EXPECT_NEAR(counts[FromMicros(500)], 5000, 300);
+  EXPECT_EQ(st.Mean(), FromMicros(300));
+}
+
+TEST(ServiceTimeTest, TrimodalEvenThirds) {
+  ServiceTime st = ServiceTime::PaperTrimodal();
+  Rng rng(3);
+  std::map<TimeNs, int> counts;
+  for (int i = 0; i < 30000; ++i) {
+    counts[st.Sample(rng)]++;
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  for (auto& [value, n] : counts) {
+    EXPECT_NEAR(n, 10000, 600) << FormatDuration(value);
+  }
+}
+
+TEST(ServiceTimeTest, ExponentialMeanMatches) {
+  ServiceTime st = ServiceTime::PaperExponential();
+  Rng rng(4);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const TimeNs v = st.Sample(rng);
+    ASSERT_GT(v, 0);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / kN, static_cast<double>(FromMicros(250)), FromMicros(3));
+}
+
+TEST(ServiceTimeTest, LognormalMeanMatches) {
+  ServiceTime st = ServiceTime::Lognormal(FromMicros(500), 1.2);
+  Rng rng(5);
+  double sum = 0;
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(st.Sample(rng));
+  }
+  EXPECT_NEAR(sum / kN, static_cast<double>(FromMicros(500)), FromMicros(15));
+}
+
+TEST(ServiceTimeTest, LabelsAreInformative) {
+  EXPECT_NE(ServiceTime::PaperBimodal().label().find("bimodal"), std::string::npos);
+  EXPECT_NE(ServiceTime::Fixed(FromMicros(100)).label().find("fixed"), std::string::npos);
+}
+
+// --- Open-loop generator -------------------------------------------------------
+
+TEST(OpenLoopTest, RateIsRespected) {
+  OpenLoopSpec spec;
+  spec.tasks_per_second = 200000.0;
+  spec.duration = FromMillis(500);
+  spec.seed = 6;
+  JobStream stream = GenerateOpenLoop(spec);
+  const double rate = static_cast<double>(TotalTasks(stream)) / ToSeconds(spec.duration);
+  EXPECT_NEAR(rate, 200000.0, 6000.0);
+}
+
+TEST(OpenLoopTest, ArrivalsSortedWithinDuration) {
+  OpenLoopSpec spec;
+  spec.duration = FromMillis(50);
+  JobStream stream = GenerateOpenLoop(spec);
+  ASSERT_FALSE(stream.empty());
+  TimeNs prev = 0;
+  for (const JobArrival& job : stream) {
+    EXPECT_GE(job.at, prev);
+    EXPECT_LT(job.at, spec.duration);
+    prev = job.at;
+  }
+}
+
+TEST(OpenLoopTest, BatchedJobs) {
+  OpenLoopSpec spec;
+  spec.tasks_per_job = 10;
+  spec.duration = FromMillis(20);
+  JobStream stream = GenerateOpenLoop(spec);
+  for (const JobArrival& job : stream) {
+    EXPECT_EQ(job.tasks.size(), 10u);
+  }
+}
+
+TEST(OpenLoopTest, Deterministic) {
+  OpenLoopSpec spec;
+  spec.seed = 77;
+  spec.duration = FromMillis(10);
+  JobStream a = GenerateOpenLoop(spec);
+  JobStream b = GenerateOpenLoop(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+  }
+}
+
+TEST(OpenLoopTest, TotalWorkMatchesMeanService) {
+  OpenLoopSpec spec;
+  spec.tasks_per_second = 100000.0;
+  spec.duration = FromMillis(200);
+  spec.service = ServiceTime::Fixed(FromMicros(100));
+  JobStream stream = GenerateOpenLoop(spec);
+  EXPECT_EQ(TotalWork(stream),
+            static_cast<TimeNs>(TotalTasks(stream)) * FromMicros(100));
+}
+
+// --- Taggers -------------------------------------------------------------------
+
+TEST(TaggerTest, LocalityCoversAllNodesRoughlyEvenly) {
+  OpenLoopSpec spec;
+  spec.duration = FromMillis(200);
+  spec.tasks_per_second = 100000.0;
+  JobStream stream = GenerateOpenLoop(spec);
+  TagLocality(stream, 10, 9);
+  std::map<uint32_t, int> counts;
+  for (const auto& job : stream) {
+    for (const auto& task : job.tasks) {
+      ASSERT_LT(task.tprops, 10u);
+      counts[task.tprops]++;
+    }
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  const double expected = static_cast<double>(TotalTasks(stream)) / 10;
+  for (auto& [node, n] : counts) {
+    EXPECT_NEAR(n, expected, expected * 0.15);
+  }
+}
+
+TEST(TaggerTest, PriorityMixMatchesFractions) {
+  OpenLoopSpec spec;
+  spec.duration = FromMillis(400);
+  spec.tasks_per_second = 100000.0;
+  JobStream stream = GenerateOpenLoop(spec);
+  TagPriorities(stream, PaperPriorityMix(), 4);
+  std::map<uint32_t, double> counts;
+  for (const auto& job : stream) {
+    for (const auto& task : job.tasks) {
+      counts[task.tprops]++;
+    }
+  }
+  const double total = static_cast<double>(TotalTasks(stream));
+  // The paper's 12->4 mapping: 1.2% / 1.7% / 64.6% / 32.2%.
+  EXPECT_NEAR(counts[1] / total, 0.012, 0.004);
+  EXPECT_NEAR(counts[2] / total, 0.017, 0.004);
+  EXPECT_NEAR(counts[3] / total, 0.646, 0.02);
+  EXPECT_NEAR(counts[4] / total, 0.322, 0.02);
+}
+
+// --- Resource phases -------------------------------------------------------------
+
+TEST(ResourcePhasesTest, ThreePhasesWithEscalatingBits) {
+  ResourcePhasesSpec spec;
+  spec.phase_duration = FromMillis(100);
+  spec.tasks_per_second = 50000.0;
+  JobStream stream = GenerateResourcePhases(spec);
+  ASSERT_FALSE(stream.empty());
+  for (const JobArrival& job : stream) {
+    const auto phase = static_cast<uint32_t>(job.at / spec.phase_duration);
+    ASSERT_LT(phase, 3u);
+    EXPECT_EQ(job.tasks.at(0).tprops, 1u << phase);
+  }
+  EXPECT_LT(stream.back().at, 3 * spec.phase_duration);
+}
+
+// --- Google-like trace -------------------------------------------------------------
+
+TEST(GoogleTraceTest, MeanRateAndDuration) {
+  GoogleTraceSpec spec;
+  spec.duration = FromSeconds(1);
+  spec.mean_tasks_per_second = 100000.0;
+  spec.seed = 12;
+  JobStream stream = GenerateGoogleTrace(spec);
+  const double rate = static_cast<double>(TotalTasks(stream)) / 1.0;
+  EXPECT_NEAR(rate, 100000.0, 15000.0);
+}
+
+TEST(GoogleTraceTest, TaskDurationsAverageToTarget) {
+  GoogleTraceSpec spec;
+  spec.duration = FromSeconds(1);
+  spec.mean_tasks_per_second = 100000.0;
+  spec.mean_task_duration = FromMicros(500);
+  spec.seed = 13;
+  JobStream stream = GenerateGoogleTrace(spec);
+  const double mean =
+      static_cast<double>(TotalWork(stream)) / static_cast<double>(TotalTasks(stream));
+  EXPECT_NEAR(mean, static_cast<double>(FromMicros(500)), FromMicros(40));
+}
+
+TEST(GoogleTraceTest, IsBursty) {
+  GoogleTraceSpec spec;
+  spec.duration = FromSeconds(1);
+  spec.mean_tasks_per_second = 100000.0;
+  spec.max_job_size = 300;
+  spec.seed = 14;
+  JobStream stream = GenerateGoogleTrace(spec);
+  size_t biggest = 0;
+  for (const auto& job : stream) {
+    biggest = std::max(biggest, job.tasks.size());
+  }
+  // "may submit hundreds of tasks at once"
+  EXPECT_GE(biggest, 100u);
+  EXPECT_LE(biggest, 300u);
+}
+
+TEST(GoogleTraceTest, PriorityTaggingOptional) {
+  GoogleTraceSpec spec;
+  spec.duration = FromMillis(200);
+  spec.priority_levels = 4;
+  spec.seed = 15;
+  JobStream stream = GenerateGoogleTrace(spec);
+  for (const auto& job : stream) {
+    for (const auto& task : job.tasks) {
+      ASSERT_GE(task.tprops, 1u);
+      ASSERT_LE(task.tprops, 4u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace draconis::workload
