@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gpu_inference.dir/examples/gpu_inference.cpp.o"
+  "CMakeFiles/example_gpu_inference.dir/examples/gpu_inference.cpp.o.d"
+  "examples/gpu_inference"
+  "examples/gpu_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gpu_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

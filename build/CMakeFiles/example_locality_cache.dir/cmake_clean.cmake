@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_locality_cache.dir/examples/locality_cache.cpp.o"
+  "CMakeFiles/example_locality_cache.dir/examples/locality_cache.cpp.o.d"
+  "examples/locality_cache"
+  "examples/locality_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_locality_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

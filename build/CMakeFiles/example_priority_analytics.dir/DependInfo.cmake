@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/priority_analytics.cpp" "CMakeFiles/example_priority_analytics.dir/examples/priority_analytics.cpp.o" "gcc" "CMakeFiles/example_priority_analytics.dir/examples/priority_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/draconis_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/draconis_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/draconis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/draconis_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/draconis_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/draconis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/draconis_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/draconis_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/draconis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/draconis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

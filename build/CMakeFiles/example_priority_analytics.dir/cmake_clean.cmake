@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_priority_analytics.dir/examples/priority_analytics.cpp.o"
+  "CMakeFiles/example_priority_analytics.dir/examples/priority_analytics.cpp.o.d"
+  "examples/priority_analytics"
+  "examples/priority_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_priority_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05a_latency_500us.dir/bench/fig05a_latency_500us.cc.o"
+  "CMakeFiles/fig05a_latency_500us.dir/bench/fig05a_latency_500us.cc.o.d"
+  "bench/fig05a_latency_500us"
+  "bench/fig05a_latency_500us.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05a_latency_500us.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05a_latency_500us.
+# This may be replaced when dependencies are built.

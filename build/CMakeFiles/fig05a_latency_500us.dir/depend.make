@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05a_latency_500us.
+# This may be replaced when dependencies are built.

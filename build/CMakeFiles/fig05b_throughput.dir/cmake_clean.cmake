@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05b_throughput.dir/bench/fig05b_throughput.cc.o"
+  "CMakeFiles/fig05b_throughput.dir/bench/fig05b_throughput.cc.o.d"
+  "bench/fig05b_throughput"
+  "bench/fig05b_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05b_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_synthetic_suite.dir/bench/fig06_synthetic_suite.cc.o"
+  "CMakeFiles/fig06_synthetic_suite.dir/bench/fig06_synthetic_suite.cc.o.d"
+  "bench/fig06_synthetic_suite"
+  "bench/fig06_synthetic_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_synthetic_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

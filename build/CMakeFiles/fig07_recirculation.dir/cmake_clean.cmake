@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_recirculation.dir/bench/fig07_recirculation.cc.o"
+  "CMakeFiles/fig07_recirculation.dir/bench/fig07_recirculation.cc.o.d"
+  "bench/fig07_recirculation"
+  "bench/fig07_recirculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_recirculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

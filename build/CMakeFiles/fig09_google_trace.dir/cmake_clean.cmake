@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_google_trace.dir/bench/fig09_google_trace.cc.o"
+  "CMakeFiles/fig09_google_trace.dir/bench/fig09_google_trace.cc.o.d"
+  "bench/fig09_google_trace"
+  "bench/fig09_google_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_google_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_locality.dir/bench/fig10_locality.cc.o"
+  "CMakeFiles/fig10_locality.dir/bench/fig10_locality.cc.o.d"
+  "bench/fig10_locality"
+  "bench/fig10_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_resource.dir/bench/fig11_resource.cc.o"
+  "CMakeFiles/fig11_resource.dir/bench/fig11_resource.cc.o.d"
+  "bench/fig11_resource"
+  "bench/fig11_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

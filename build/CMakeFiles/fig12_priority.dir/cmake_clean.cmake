@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_priority.dir/bench/fig12_priority.cc.o"
+  "CMakeFiles/fig12_priority.dir/bench/fig12_priority.cc.o.d"
+  "bench/fig12_priority"
+  "bench/fig12_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

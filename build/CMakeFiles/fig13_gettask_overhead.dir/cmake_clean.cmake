@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_gettask_overhead.dir/bench/fig13_gettask_overhead.cc.o"
+  "CMakeFiles/fig13_gettask_overhead.dir/bench/fig13_gettask_overhead.cc.o.d"
+  "bench/fig13_gettask_overhead"
+  "bench/fig13_gettask_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_gettask_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ablation.dir/bench/tab_ablation.cc.o"
+  "CMakeFiles/tab_ablation.dir/bench/tab_ablation.cc.o.d"
+  "bench/tab_ablation"
+  "bench/tab_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

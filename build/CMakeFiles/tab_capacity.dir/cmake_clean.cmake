@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_capacity.dir/bench/tab_capacity.cc.o"
+  "CMakeFiles/tab_capacity.dir/bench/tab_capacity.cc.o.d"
+  "bench/tab_capacity"
+  "bench/tab_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_efficiency.dir/bench/tab_efficiency.cc.o"
+  "CMakeFiles/tab_efficiency.dir/bench/tab_efficiency.cc.o.d"
+  "bench/tab_efficiency"
+  "bench/tab_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/examples.cmake;19;add_test;/root/repo/examples/examples.cmake;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(example_gpu_inference "/root/repo/build/examples/gpu_inference")
+set_tests_properties(example_gpu_inference PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/examples.cmake;20;add_test;/root/repo/examples/examples.cmake;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+add_test(example_cluster_sim "/root/repo/build/examples/cluster_sim" "--utilization=0.4" "--duration-ms=10")
+set_tests_properties(example_cluster_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/examples.cmake;21;add_test;/root/repo/examples/examples.cmake;0;;/root/repo/CMakeLists.txt;29;include;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_baselines.dir/central_server.cc.o"
+  "CMakeFiles/draconis_baselines.dir/central_server.cc.o.d"
+  "CMakeFiles/draconis_baselines.dir/r2p2.cc.o"
+  "CMakeFiles/draconis_baselines.dir/r2p2.cc.o.d"
+  "CMakeFiles/draconis_baselines.dir/racksched.cc.o"
+  "CMakeFiles/draconis_baselines.dir/racksched.cc.o.d"
+  "CMakeFiles/draconis_baselines.dir/sparrow.cc.o"
+  "CMakeFiles/draconis_baselines.dir/sparrow.cc.o.d"
+  "libdraconis_baselines.a"
+  "libdraconis_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_cluster.dir/client.cc.o"
+  "CMakeFiles/draconis_cluster.dir/client.cc.o.d"
+  "CMakeFiles/draconis_cluster.dir/executor.cc.o"
+  "CMakeFiles/draconis_cluster.dir/executor.cc.o.d"
+  "CMakeFiles/draconis_cluster.dir/experiment.cc.o"
+  "CMakeFiles/draconis_cluster.dir/experiment.cc.o.d"
+  "libdraconis_cluster.a"
+  "libdraconis_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

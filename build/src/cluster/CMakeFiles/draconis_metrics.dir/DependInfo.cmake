@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/metrics.cc" "src/cluster/CMakeFiles/draconis_metrics.dir/metrics.cc.o" "gcc" "src/cluster/CMakeFiles/draconis_metrics.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/draconis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/draconis_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/draconis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/draconis_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

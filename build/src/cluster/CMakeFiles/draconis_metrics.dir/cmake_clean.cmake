@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_metrics.dir/metrics.cc.o"
+  "CMakeFiles/draconis_metrics.dir/metrics.cc.o.d"
+  "libdraconis_metrics.a"
+  "libdraconis_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

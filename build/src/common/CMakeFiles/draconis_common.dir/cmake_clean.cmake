@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_common.dir/check.cc.o"
+  "CMakeFiles/draconis_common.dir/check.cc.o.d"
+  "CMakeFiles/draconis_common.dir/flags.cc.o"
+  "CMakeFiles/draconis_common.dir/flags.cc.o.d"
+  "CMakeFiles/draconis_common.dir/rng.cc.o"
+  "CMakeFiles/draconis_common.dir/rng.cc.o.d"
+  "CMakeFiles/draconis_common.dir/time.cc.o"
+  "CMakeFiles/draconis_common.dir/time.cc.o.d"
+  "libdraconis_common.a"
+  "libdraconis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

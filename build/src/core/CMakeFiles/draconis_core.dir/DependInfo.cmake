@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/draconis_program.cc" "src/core/CMakeFiles/draconis_core.dir/draconis_program.cc.o" "gcc" "src/core/CMakeFiles/draconis_core.dir/draconis_program.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/draconis_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/draconis_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/switch_queue.cc" "src/core/CMakeFiles/draconis_core.dir/switch_queue.cc.o" "gcc" "src/core/CMakeFiles/draconis_core.dir/switch_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4/CMakeFiles/draconis_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/draconis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/draconis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/draconis_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

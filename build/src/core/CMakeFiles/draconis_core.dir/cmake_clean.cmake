@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_core.dir/draconis_program.cc.o"
+  "CMakeFiles/draconis_core.dir/draconis_program.cc.o.d"
+  "CMakeFiles/draconis_core.dir/policy.cc.o"
+  "CMakeFiles/draconis_core.dir/policy.cc.o.d"
+  "CMakeFiles/draconis_core.dir/switch_queue.cc.o"
+  "CMakeFiles/draconis_core.dir/switch_queue.cc.o.d"
+  "libdraconis_core.a"
+  "libdraconis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

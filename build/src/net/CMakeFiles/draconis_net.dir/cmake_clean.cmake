@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_net.dir/network.cc.o"
+  "CMakeFiles/draconis_net.dir/network.cc.o.d"
+  "CMakeFiles/draconis_net.dir/packet.cc.o"
+  "CMakeFiles/draconis_net.dir/packet.cc.o.d"
+  "libdraconis_net.a"
+  "libdraconis_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

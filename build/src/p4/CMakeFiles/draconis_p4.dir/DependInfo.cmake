@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4/pipeline.cc" "src/p4/CMakeFiles/draconis_p4.dir/pipeline.cc.o" "gcc" "src/p4/CMakeFiles/draconis_p4.dir/pipeline.cc.o.d"
+  "/root/repo/src/p4/register.cc" "src/p4/CMakeFiles/draconis_p4.dir/register.cc.o" "gcc" "src/p4/CMakeFiles/draconis_p4.dir/register.cc.o.d"
+  "/root/repo/src/p4/tracing.cc" "src/p4/CMakeFiles/draconis_p4.dir/tracing.cc.o" "gcc" "src/p4/CMakeFiles/draconis_p4.dir/tracing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/draconis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/draconis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/draconis_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_p4.dir/pipeline.cc.o"
+  "CMakeFiles/draconis_p4.dir/pipeline.cc.o.d"
+  "CMakeFiles/draconis_p4.dir/register.cc.o"
+  "CMakeFiles/draconis_p4.dir/register.cc.o.d"
+  "CMakeFiles/draconis_p4.dir/tracing.cc.o"
+  "CMakeFiles/draconis_p4.dir/tracing.cc.o.d"
+  "libdraconis_p4.a"
+  "libdraconis_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

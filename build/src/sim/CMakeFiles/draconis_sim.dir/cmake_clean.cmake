@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_sim.dir/simulator.cc.o"
+  "CMakeFiles/draconis_sim.dir/simulator.cc.o.d"
+  "libdraconis_sim.a"
+  "libdraconis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdraconis_sim.a"
+)

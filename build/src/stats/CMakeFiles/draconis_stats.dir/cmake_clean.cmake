@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_stats.dir/histogram.cc.o"
+  "CMakeFiles/draconis_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/draconis_stats.dir/timeseries.cc.o"
+  "CMakeFiles/draconis_stats.dir/timeseries.cc.o.d"
+  "libdraconis_stats.a"
+  "libdraconis_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

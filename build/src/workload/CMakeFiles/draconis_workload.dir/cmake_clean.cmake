@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_workload.dir/generators.cc.o"
+  "CMakeFiles/draconis_workload.dir/generators.cc.o.d"
+  "CMakeFiles/draconis_workload.dir/google_trace.cc.o"
+  "CMakeFiles/draconis_workload.dir/google_trace.cc.o.d"
+  "CMakeFiles/draconis_workload.dir/service_time.cc.o"
+  "CMakeFiles/draconis_workload.dir/service_time.cc.o.d"
+  "CMakeFiles/draconis_workload.dir/trace_io.cc.o"
+  "CMakeFiles/draconis_workload.dir/trace_io.cc.o.d"
+  "libdraconis_workload.a"
+  "libdraconis_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

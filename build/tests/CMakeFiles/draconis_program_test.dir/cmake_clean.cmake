@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draconis_program_test.dir/draconis_program_test.cc.o"
+  "CMakeFiles/draconis_program_test.dir/draconis_program_test.cc.o.d"
+  "draconis_program_test"
+  "draconis_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draconis_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

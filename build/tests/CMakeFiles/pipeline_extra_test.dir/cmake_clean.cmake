@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_extra_test.dir/pipeline_extra_test.cc.o"
+  "CMakeFiles/pipeline_extra_test.dir/pipeline_extra_test.cc.o.d"
+  "pipeline_extra_test"
+  "pipeline_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

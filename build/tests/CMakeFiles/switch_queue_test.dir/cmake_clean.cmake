@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_queue_test.dir/switch_queue_test.cc.o"
+  "CMakeFiles/switch_queue_test.dir/switch_queue_test.cc.o.d"
+  "switch_queue_test"
+  "switch_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
