@@ -38,3 +38,6 @@ draconis_add_bench(tab_scalability)
 
 draconis_add_bench(micro_core)
 target_link_libraries(micro_core PRIVATE benchmark::benchmark)
+
+# Event-core wall-clock bench; emits BENCH_sim_core.json (see EXPERIMENTS.md).
+draconis_add_bench(micro_sim)

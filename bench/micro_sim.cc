@@ -1,0 +1,457 @@
+// Wall-clock benchmark of the simulator's event core (events/sec).
+//
+// Every figure reproduction in bench/ funnels millions of events through
+// `sim::Simulator`; this bench measures that substrate directly and emits
+// `BENCH_sim_core.json` so the repo has a perf trajectory to track. To keep
+// the comparison honest across machines and PRs, the *seed* engine (heap of
+// full events, `std::function` + `shared_ptr<bool>` per cancellable event)
+// is embedded below as `legacy::Simulator` and measured in the same
+// process, interleaved with the current engine.
+//
+// Workloads:
+//   schedule_heavy  self-rescheduling chains, plain events only
+//   cancel_heavy    watchdog pattern: arm a far-future cancellable event,
+//                   cancel + re-arm on every firing
+//   timer_loop      executor-pull shape: one periodic callback per actor,
+//                   re-armed from inside the callback
+//   mixed_fig05a    per-task shape of the fig05a runs: a chain of network
+//                   hops plus client-timeout arm/cancel and a pull re-arm
+//
+// Environment:
+//   DRACONIS_BENCH_QUICK=1    ~10x fewer events (CI smoke)
+//   DRACONIS_BENCH_JSON=path  where to write the JSON (default
+//                             ./BENCH_sim_core.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace legacy {
+
+using draconis::TimeNs;
+
+// The seed event engine, verbatim modulo namespace: one heap-allocated
+// std::function per event moved through every heap sift, plus a
+// shared_ptr<bool> per cancellable event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+
+  void Cancel() {
+    if (cancelled_ != nullptr) {
+      *cancelled_ = true;
+    }
+  }
+  bool pending() const { return cancelled_ != nullptr && !*cancelled_; }
+
+ private:
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  TimeNs Now() const { return now_; }
+
+  void At(TimeNs at, std::function<void()> fn) { Push(at, std::move(fn), nullptr); }
+  void After(TimeNs delay, std::function<void()> fn) {
+    DRACONIS_CHECK(delay >= 0);
+    Push(now_ + delay, std::move(fn), nullptr);
+  }
+  EventHandle CancellableAt(TimeNs at, std::function<void()> fn) {
+    auto flag = std::make_shared<bool>(false);
+    Push(at, std::move(fn), flag);
+    return EventHandle(std::move(flag));
+  }
+  EventHandle CancellableAfter(TimeNs delay, std::function<void()> fn) {
+    DRACONIS_CHECK(delay >= 0);
+    return CancellableAt(now_ + delay, std::move(fn));
+  }
+
+  uint64_t RunUntil(TimeNs until) {
+    uint64_t ran = 0;
+    while (!queue_.empty() && queue_.top().at <= until) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (ev.cancelled != nullptr && *ev.cancelled) {
+        continue;
+      }
+      if (ev.cancelled != nullptr) {
+        *ev.cancelled = true;
+      }
+      now_ = ev.at;
+      ev.fn();
+      ++ran;
+      ++executed_;
+    }
+    if (now_ < until) {
+      now_ = until;
+    }
+    return ran;
+  }
+
+  uint64_t RunAll() {
+    uint64_t ran = 0;
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (ev.cancelled != nullptr && *ev.cancelled) {
+        continue;
+      }
+      if (ev.cancelled != nullptr) {
+        *ev.cancelled = true;
+      }
+      now_ = ev.at;
+      ev.fn();
+      ++ran;
+      ++executed_;
+    }
+    return ran;
+  }
+
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs at = 0;
+    uint64_t seq = 0;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void Push(TimeNs at, std::function<void()> fn, std::shared_ptr<bool> cancelled) {
+    DRACONIS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+    queue_.push(Event{at, next_seq_++, std::move(fn), std::move(cancelled)});
+  }
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+// Timer emulation on the legacy engine: the cancel + fresh CancellableAfter
+// dance the executor's pull watchdog used to do.
+class RearmTimer {
+ public:
+  RearmTimer(Simulator* sim, std::function<void()> fn) : sim_(sim), fn_(std::move(fn)) {}
+  void ScheduleAfter(TimeNs delay) {
+    handle_.Cancel();
+    handle_ = sim_->CancellableAfter(delay, fn_);  // copies fn_ into the event
+  }
+  void Cancel() { handle_.Cancel(); }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> fn_;
+  EventHandle handle_;
+};
+
+}  // namespace legacy
+
+namespace draconis::bench {
+namespace {
+
+// Adapter so the workloads below compile against either engine with the
+// same Timer spelling.
+struct CurrentEngine {
+  using Sim = sim::Simulator;
+  using Handle = sim::EventHandle;
+  class RearmTimer {
+   public:
+    RearmTimer(Sim* s, std::function<void()> fn) { timer_.Bind(s, std::move(fn)); }
+    void ScheduleAfter(TimeNs delay) { timer_.ScheduleAfter(delay); }
+    void Cancel() { timer_.Cancel(); }
+
+   private:
+    sim::Timer timer_;
+  };
+};
+
+struct LegacyEngine {
+  using Sim = legacy::Simulator;
+  using Handle = legacy::EventHandle;
+  using RearmTimer = legacy::RearmTimer;
+};
+
+// --- Workloads ---------------------------------------------------------------
+// Each runs `budget` events through the engine and returns the executed
+// count. Callbacks stay tiny (and inside std::function's small-buffer
+// optimization) so the measurement is the engine, not the payload.
+
+template <typename E>
+struct ChainState {
+  typename E::Sim* sim;
+  Rng rng{7};
+  uint64_t budget;
+};
+
+template <typename E>
+void ChainTick(ChainState<E>* st) {
+  if (st->budget > 0) {
+    --st->budget;
+    st->sim->After(1 + static_cast<TimeNs>(st->rng.NextU64() & 255),
+                   [st] { ChainTick<E>(st); });
+  }
+}
+
+template <typename E>
+uint64_t ScheduleHeavy(typename E::Sim& sim, uint64_t budget) {
+  constexpr uint64_t kChains = 1024;  // steady-state heap size
+  ChainState<E> st{&sim, Rng(7), budget};
+  for (uint64_t k = 0; k < kChains && st.budget > 0; ++k) {
+    --st.budget;
+    sim.After(static_cast<TimeNs>(k + 1), [p = &st] { ChainTick<E>(p); });
+  }
+  sim.RunAll();
+  return sim.executed_events();
+}
+
+// Watchdog pattern: every firing cancels the actor's previous far-future
+// cancellable event, arms a new one, and reschedules itself.
+template <typename E>
+struct WatchdogState {
+  typename E::Sim* sim;
+  Rng rng{11};
+  uint64_t budget;
+  std::vector<typename E::Handle> watchdogs;
+};
+
+template <typename E>
+void WatchdogTick(WatchdogState<E>* st, uint32_t k) {
+  st->watchdogs[k].Cancel();
+  st->watchdogs[k] = st->sim->CancellableAfter(FromMillis(1), [] {});
+  if (st->budget > 0) {
+    --st->budget;
+    st->sim->After(1 + static_cast<TimeNs>(st->rng.NextU64() & 255),
+                   [st, k] { WatchdogTick<E>(st, k); });
+  }
+}
+
+template <typename E>
+uint64_t CancelHeavy(typename E::Sim& sim, uint64_t budget) {
+  constexpr uint32_t kActors = 256;
+  WatchdogState<E> st{&sim, Rng(11), budget, {}};
+  st.watchdogs.resize(kActors);
+  for (uint32_t k = 0; k < kActors && st.budget > 0; ++k) {
+    --st.budget;
+    sim.After(static_cast<TimeNs>(k + 1), [p = &st, k] { WatchdogTick<E>(p, k); });
+  }
+  // Stop before the surviving watchdogs fire: only the chain is measured.
+  sim.RunUntil(sim.Now() + FromSeconds(3600));
+  return sim.executed_events();
+}
+
+// Executor-pull shape: a periodic callback per actor, re-armed from inside
+// the callback (the engine's reusable-event path; the legacy engine pays a
+// cancel + fresh cancellable event per period).
+template <typename E>
+struct TimerLoopState {
+  typename E::Sim* sim;
+  Rng rng{13};
+  uint64_t budget;
+  std::vector<std::unique_ptr<typename E::RearmTimer>> timers;
+};
+
+template <typename E>
+uint64_t TimerLoop(typename E::Sim& sim, uint64_t budget) {
+  constexpr uint32_t kActors = 256;
+  TimerLoopState<E> st{&sim, Rng(13), budget, {}};
+  for (uint32_t k = 0; k < kActors; ++k) {
+    st.timers.push_back(std::make_unique<typename E::RearmTimer>(&sim, [p = &st, k] {
+      if (p->budget > 0) {
+        --p->budget;
+        p->timers[k]->ScheduleAfter(1 + static_cast<TimeNs>(p->rng.NextU64() & 255));
+      }
+    }));
+  }
+  for (uint32_t k = 0; k < kActors && st.budget > 0; ++k) {
+    --st.budget;
+    st.timers[k]->ScheduleAfter(static_cast<TimeNs>(k + 1));
+  }
+  sim.RunAll();
+  return sim.executed_events();
+}
+
+// The fig05a per-task shape: a client submit fans into a fixed chain of
+// network-hop events (plain), guarded by a client timeout (cancellable,
+// cancelled at completion) and an executor pull re-arm per hop pair.
+template <typename E>
+struct MixedState {
+  typename E::Sim* sim;
+  Rng rng{17};
+  uint64_t budget;  // tasks
+  std::vector<typename E::Handle> timeouts;
+  std::vector<std::unique_ptr<typename E::RearmTimer>> pulls;
+};
+
+template <typename E>
+void MixedHop(MixedState<E>* st, uint32_t k, int hop);
+
+template <typename E>
+void MixedSubmit(MixedState<E>* st, uint32_t k) {
+  // Client-side timeout for the task (cancelled when it completes).
+  st->timeouts[k].Cancel();
+  st->timeouts[k] = st->sim->CancellableAfter(FromMicros(2500), [] {});
+  MixedHop<E>(st, k, 0);
+}
+
+template <typename E>
+void MixedHop(MixedState<E>* st, uint32_t k, int hop) {
+  if (hop < 6) {
+    // tx occupancy / propagation / rx occupancy / stack, twice (to the
+    // switch and on to the executor).
+    st->sim->After(100 + static_cast<TimeNs>(st->rng.NextU64() & 127),
+                   [st, k, hop] { MixedHop<E>(st, k, hop + 1); });
+    if (hop % 3 == 0) {
+      st->pulls[k]->ScheduleAfter(FromMillis(1));  // watchdog re-arm per leg
+    }
+    return;
+  }
+  // Completion: cancel the timeout, re-arm the pull, next task.
+  st->timeouts[k].Cancel();
+  st->pulls[k]->ScheduleAfter(FromMillis(1));
+  if (st->budget > 0) {
+    --st->budget;
+    st->sim->After(1 + static_cast<TimeNs>(st->rng.NextU64() & 255),
+                   [st, k] { MixedSubmit<E>(st, k); });
+  }
+}
+
+template <typename E>
+uint64_t MixedFig05a(typename E::Sim& sim, uint64_t budget) {
+  constexpr uint32_t kClients = 64;
+  MixedState<E> st{&sim, Rng(17), budget, {}, {}};
+  st.timeouts.resize(kClients);
+  for (uint32_t k = 0; k < kClients; ++k) {
+    st.pulls.push_back(std::make_unique<typename E::RearmTimer>(&sim, [] {}));
+  }
+  for (uint32_t k = 0; k < kClients && st.budget > 0; ++k) {
+    --st.budget;
+    sim.After(static_cast<TimeNs>(k + 1), [p = &st, k] { MixedSubmit<E>(p, k); });
+  }
+  sim.RunUntil(sim.Now() + FromSeconds(3600));
+  return sim.executed_events();
+}
+
+// --- Harness -----------------------------------------------------------------
+
+struct Result {
+  std::string name;
+  uint64_t events = 0;
+  double current_eps = 0;  // events/sec, current engine
+  double legacy_eps = 0;   // events/sec, seed engine
+  double speedup() const { return legacy_eps > 0 ? current_eps / legacy_eps : 0; }
+};
+
+template <typename Fn>
+double TimeOnce(uint64_t* events_out, Fn&& run) {
+  const auto start = std::chrono::steady_clock::now();
+  *events_out = run();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(*events_out) / elapsed.count();
+}
+
+template <typename WorkloadFn>
+Result Measure(const char* name, uint64_t budget, int reps, WorkloadFn&& workload) {
+  Result result;
+  result.name = name;
+  // Strictly alternate the engines rep by rep so frequency scaling and
+  // thermal drift hit both equally; keep each engine's best rep.
+  for (int r = 0; r < reps; ++r) {
+    {
+      sim::Simulator sim;
+      const double eps =
+          TimeOnce(&result.events, [&] { return workload(CurrentEngine{}, sim, budget); });
+      result.current_eps = std::max(result.current_eps, eps);
+    }
+    {
+      legacy::Simulator sim;
+      const double eps =
+          TimeOnce(&result.events, [&] { return workload(LegacyEngine{}, sim, budget); });
+      result.legacy_eps = std::max(result.legacy_eps, eps);
+    }
+  }
+  std::printf("%-16s %12llu events   current %10.0f ev/s   seed %10.0f ev/s   %.2fx\n",
+              name, static_cast<unsigned long long>(result.events), result.current_eps,
+              result.legacy_eps, result.speedup());
+  std::fflush(stdout);
+  return result;
+}
+
+bool Quick() {
+  const char* env = std::getenv("DRACONIS_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+bool WriteJson(const std::vector<Result>& results, bool quick) {
+  const char* env = std::getenv("DRACONIS_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_sim_core.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sim_core\",\n  \"unit\": \"events_per_sec\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n  \"workloads\": [\n", quick ? "true" : "false");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %llu, \"current\": %.0f, "
+                 "\"seed_engine\": %.0f, \"speedup\": %.3f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.events), r.current_eps,
+                 r.legacy_eps, r.speedup(), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+int Main() {
+  const bool quick = Quick();
+  const uint64_t budget = quick ? 100'000 : 2'000'000;
+  const int reps = quick ? 1 : 3;
+  std::printf("sim event-core benchmark — %llu events/workload, best of %d\n",
+              static_cast<unsigned long long>(budget), reps);
+
+  std::vector<Result> results;
+  results.push_back(Measure("schedule_heavy", budget, reps, [](auto e, auto& sim, uint64_t b) {
+    return ScheduleHeavy<decltype(e)>(sim, b);
+  }));
+  results.push_back(Measure("cancel_heavy", budget, reps, [](auto e, auto& sim, uint64_t b) {
+    return CancelHeavy<decltype(e)>(sim, b);
+  }));
+  results.push_back(Measure("timer_loop", budget, reps, [](auto e, auto& sim, uint64_t b) {
+    return TimerLoop<decltype(e)>(sim, b);
+  }));
+  results.push_back(Measure("mixed_fig05a", budget / 8, reps, [](auto e, auto& sim, uint64_t b) {
+    return MixedFig05a<decltype(e)>(sim, b);
+  }));
+  return WriteJson(results, quick) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace draconis::bench
+
+int main() { return draconis::bench::Main(); }

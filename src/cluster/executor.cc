@@ -18,11 +18,17 @@ Executor::Executor(sim::Simulator* simulator, net::Network* network, MetricsHub*
       retry_interval_(config.initial_retry) {
   DRACONIS_CHECK(simulator != nullptr && network != nullptr && metrics != nullptr);
   node_id_ = network->Register(this, config.host_profile);
+  pull_timer_.Bind(simulator, [this] { SendRequest(); });
+  fetch_timer_.Bind(simulator, [this] {
+    if (fetch_pending_) {
+      SendParamFetch();  // the fetch or its reply was lost
+    }
+  });
 }
 
 void Executor::Start(net::NodeId scheduler, TimeNs at) {
   scheduler_ = scheduler;
-  simulator_->At(at, [this] { SendRequest(); });
+  pull_timer_.ScheduleAt(at);
 }
 
 void Executor::SendRequest() {
@@ -33,14 +39,13 @@ void Executor::SendRequest() {
   request.rtrv_prio = 1;
   last_request_time_ = simulator_->Now();
   network_->Send(node_id_, std::move(request));
-  watchdog_.Cancel();
-  watchdog_ = simulator_->CancellableAfter(config_.request_timeout, [this] { SendRequest(); });
+  pull_timer_.ScheduleAfter(config_.request_timeout);
 }
 
 void Executor::HandlePacket(net::Packet pkt) {
   switch (pkt.op) {
     case net::OpCode::kTaskAssignment:
-      watchdog_.Cancel();
+      pull_timer_.Cancel();
       retry_interval_ = config_.initial_retry;
       RunTask(std::move(pkt));
       return;
@@ -49,20 +54,19 @@ void Executor::HandlePacket(net::Packet pkt) {
       if (!fetch_pending_ || !(pkt.tasks.at(0).id == fetch_task_.id)) {
         return;  // stale duplicate
       }
-      fetch_watchdog_.Cancel();
+      fetch_timer_.Cancel();
       fetch_pending_ = false;
       Execute(std::move(fetch_task_), fetch_client_, fetch_access_, fetch_record_);
       return;
     }
     case net::OpCode::kNoOpTask: {
-      watchdog_.Cancel();
       // Nothing to do yet; ask again after the current backoff, jittered by
       // +-50% so an idle fleet's polls stay desynchronized (a fixed period
       // phase-locks the pollers and opens dead zones as long as the period).
       const TimeNs wait =
           retry_interval_ / 2 + static_cast<TimeNs>(rng_.NextBelow(retry_interval_));
       retry_interval_ = std::min(retry_interval_ * 2, config_.max_retry);
-      simulator_->After(std::max<TimeNs>(wait, 1), [this] { SendRequest(); });
+      pull_timer_.ScheduleAfter(std::max<TimeNs>(wait, 1));
       return;
     }
     default:
@@ -138,12 +142,7 @@ void Executor::SendParamFetch() {
   fetch.dst = fetch_client_;
   fetch.tasks = {fetch_task_};
   network_->Send(node_id_, std::move(fetch));
-  fetch_watchdog_.Cancel();
-  fetch_watchdog_ = simulator_->CancellableAfter(config_.request_timeout, [this] {
-    if (fetch_pending_) {
-      SendParamFetch();  // the fetch or its reply was lost
-    }
-  });
+  fetch_timer_.ScheduleAfter(config_.request_timeout);
 }
 
 void Executor::Execute(net::TaskInfo task, net::NodeId client, TimeNs access, bool record) {
@@ -172,9 +171,7 @@ void Executor::Execute(net::TaskInfo task, net::NodeId client, TimeNs access, bo
     completion.rtrv_prio = 1;
     last_request_time_ = simulator_->Now();
     network_->Send(node_id_, std::move(completion));
-    watchdog_.Cancel();
-    watchdog_ =
-        simulator_->CancellableAfter(config_.request_timeout, [this] { SendRequest(); });
+    pull_timer_.ScheduleAfter(config_.request_timeout);
   });
 }
 

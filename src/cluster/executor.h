@@ -93,7 +93,10 @@ class Executor : public net::Endpoint {
   Rng rng_;
   TimeNs retry_interval_;
   TimeNs last_request_time_ = -1;
-  sim::EventHandle watchdog_;
+  // Reusable pull timer: serves both the request watchdog and the no-op
+  // retry backoff (both re-issue the pull), so the hottest periodic path in
+  // the simulation never allocates per occurrence.
+  sim::Timer pull_timer_;
 
   // In-flight §4.4 parameter fetch (at most one task is held at a time).
   bool fetch_pending_ = false;
@@ -101,7 +104,7 @@ class Executor : public net::Endpoint {
   net::NodeId fetch_client_ = net::kInvalidNode;
   TimeNs fetch_access_ = 0;
   bool fetch_record_ = false;
-  sim::EventHandle fetch_watchdog_;
+  sim::Timer fetch_timer_;
   uint64_t tasks_executed_ = 0;
   TimeNs busy_time_ = 0;
 };

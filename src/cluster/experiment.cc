@@ -289,14 +289,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   ExperimentResult result;
 
+  // Poll for drain; once everything is done, drop the remaining events
+  // (idle executor polling would otherwise run forever). A reusable timer
+  // whose callback re-arms it replaces the old heap-allocated
+  // self-referencing closure.
+  sim::Timer drain_check;
   if (config.run_to_completion) {
-    // Poll for drain; once everything is done, drop the remaining events
-    // (idle executor polling would otherwise run forever).
     const TimeNs poll = FromMillis(10);
-    // The closure reschedules itself, so it must live on the heap: it is
-    // still referenced by queued events long after this block's scope ends.
-    auto check = std::make_shared<std::function<void()>>();
-    *check = [&, poll, check] {
+    drain_check.Bind(&simulator, [&, poll] {
       size_t outstanding = 0;
       for (const auto& client : clients) {
         outstanding += client->outstanding();
@@ -306,9 +306,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         simulator.Clear();
         return;
       }
-      simulator.After(poll, *check);
-    };
-    simulator.After(poll, *check);
+      drain_check.ScheduleAfter(poll);
+    });
+    drain_check.ScheduleAfter(poll);
   }
 
   simulator.RunUntil(horizon + config.drain_margin);

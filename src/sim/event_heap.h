@@ -1,0 +1,104 @@
+// Binary min-heap over trivially copyable 24-byte event keys.
+//
+// The simulator's heap used to hold full events (closure + cancellation
+// flag, ~64 bytes with non-trivial move constructors); every sift moved
+// them log2(n) times. Here the heap orders small keys that point into the
+// simulator's slot slab: sifts are plain word copies and the payload never
+// moves — which matters when lazily-deleted keys run the heap hundreds of
+// thousands of entries deep.
+//
+// Ordering is (at, seq): `seq` is assigned in scheduling order, which
+// preserves the deterministic same-instant tie-break the switch model
+// relies on. ARITY is a tuning knob (2 measured best on both the shallow
+// executor-pull heaps and the ~10^6-entry lazy-deletion heaps; 4 was tried
+// and only helped the deep case).
+
+#ifndef DRACONIS_SIM_EVENT_HEAP_H_
+#define DRACONIS_SIM_EVENT_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace draconis::sim {
+
+struct EventKey {
+  TimeNs at = 0;     // absolute firing time
+  uint64_t seq = 0;  // global scheduling sequence
+  uint32_t slot = 0;  // slab slot holding the payload
+};
+
+class EventHeap {
+  static constexpr size_t ARITY = 2;
+
+ public:
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // The earliest key. Undefined on an empty heap.
+  const EventKey& top() const { return heap_.front(); }
+
+  void Push(EventKey key) {
+    size_t i = heap_.size();
+    heap_.push_back(key);  // placeholder; the hole sifts up below
+    while (i > 0) {
+      const size_t parent = (i - 1) / ARITY;
+      if (!Before(key, heap_[parent])) {
+        break;
+      }
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = key;
+  }
+
+  // Removes and returns the earliest key. Undefined on an empty heap.
+  EventKey PopTop() {
+    const EventKey top = heap_.front();
+    const EventKey last = heap_.back();
+    heap_.pop_back();
+    const size_t n = heap_.size();
+    if (n > 0) {
+      size_t i = 0;
+      for (;;) {
+        const size_t first = ARITY * i + 1;
+        if (first >= n) {
+          break;
+        }
+        size_t best = first;
+        const size_t end = first + ARITY < n ? first + ARITY : n;
+        for (size_t c = first + 1; c < end; ++c) {
+          if (Before(heap_[c], heap_[best])) {
+            best = c;
+          }
+        }
+        if (!Before(heap_[best], last)) {
+          break;
+        }
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    }
+    return top;
+  }
+
+  // O(1); keeps capacity so a cleared simulator can refill without growing.
+  void Clear() { heap_.clear(); }
+
+ private:
+  static bool Before(const EventKey& a, const EventKey& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    return a.seq < b.seq;
+  }
+
+  std::vector<EventKey> heap_;
+};
+
+}  // namespace draconis::sim
+
+#endif  // DRACONIS_SIM_EVENT_HEAP_H_

@@ -4,30 +4,96 @@
 
 namespace draconis::sim {
 
+// --- EventHandle -------------------------------------------------------------
+
 void EventHandle::Cancel() {
-  if (cancelled_ != nullptr) {
-    *cancelled_ = true;
+  if (sim_ != nullptr) {
+    sim_->CancelHandle(*this);
   }
 }
 
-bool EventHandle::pending() const { return cancelled_ != nullptr && !*cancelled_; }
+bool EventHandle::pending() const { return sim_ != nullptr && sim_->HandlePending(*this); }
 
-void Simulator::Push(TimeNs at, std::function<void()> fn, std::shared_ptr<bool> cancelled) {
-  DRACONIS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn), std::move(cancelled)});
+// --- Timer -------------------------------------------------------------------
+
+Timer::~Timer() {
+  if (sim_ != nullptr) {
+    sim_->UnregisterTimer(*this);
+  }
 }
 
-void Simulator::At(TimeNs at, std::function<void()> fn) { Push(at, std::move(fn), nullptr); }
+void Timer::Bind(Simulator* sim, std::function<void()> fn) {
+  DRACONIS_CHECK_MSG(sim_ == nullptr, "Timer bound twice");
+  DRACONIS_CHECK(sim != nullptr && fn != nullptr);
+  sim_ = sim;
+  fn_ = std::move(fn);
+  slot_ = sim_->RegisterTimer(this);
+}
+
+void Timer::ScheduleAt(TimeNs at) {
+  DRACONIS_CHECK_MSG(sim_ != nullptr, "Timer used before Bind()");
+  sim_->ArmTimer(*this, at);
+}
+
+void Timer::ScheduleAfter(TimeNs delay) {
+  DRACONIS_CHECK_MSG(sim_ != nullptr, "Timer used before Bind()");
+  DRACONIS_CHECK(delay >= 0);
+  sim_->ArmTimer(*this, sim_->Now() + delay);
+}
+
+void Timer::Cancel() {
+  if (sim_ != nullptr) {
+    sim_->DisarmTimer(*this);
+  }
+}
+
+bool Timer::pending() const { return sim_ != nullptr && sim_->TimerPending(*this); }
+
+// --- Simulator: slab ---------------------------------------------------------
+
+uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNilSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  s.timer = nullptr;
+  s.live_gen = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+// --- Simulator: scheduling ---------------------------------------------------
+
+EventKey Simulator::Push(TimeNs at, std::function<void()> fn) {
+  DRACONIS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  const uint64_t seq = next_seq_++;
+  const uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.live_gen = seq + 1;
+  s.fn = std::move(fn);
+  heap_.Push(EventKey{at, seq, slot});
+  ++live_;
+  return EventKey{at, seq, slot};
+}
+
+void Simulator::At(TimeNs at, std::function<void()> fn) { Push(at, std::move(fn)); }
 
 void Simulator::After(TimeNs delay, std::function<void()> fn) {
   DRACONIS_CHECK(delay >= 0);
-  Push(now_ + delay, std::move(fn), nullptr);
+  Push(now_ + delay, std::move(fn));
 }
 
 EventHandle Simulator::CancellableAt(TimeNs at, std::function<void()> fn) {
-  auto flag = std::make_shared<bool>(false);
-  Push(at, std::move(fn), flag);
-  return EventHandle(std::move(flag));
+  const EventKey key = Push(at, std::move(fn));
+  return EventHandle(this, key.slot, key.seq);
 }
 
 EventHandle Simulator::CancellableAfter(TimeNs delay, std::function<void()> fn) {
@@ -35,53 +101,114 @@ EventHandle Simulator::CancellableAfter(TimeNs delay, std::function<void()> fn) 
   return CancellableAt(now_ + delay, std::move(fn));
 }
 
-uint64_t Simulator::RunUntil(TimeNs until) {
+// --- Simulator: run loop -----------------------------------------------------
+
+uint64_t Simulator::Run(bool bounded, TimeNs until) {
   uint64_t ran = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
-    // The event's closure may schedule more events, which can reallocate the
-    // heap, so move the event out before popping.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (ev.cancelled != nullptr && *ev.cancelled) {
-      continue;
+  while (!heap_.empty()) {
+    if (bounded && heap_.top().at > until) {
+      break;
     }
-    if (ev.cancelled != nullptr) {
-      *ev.cancelled = true;  // consumed; handle now reports !pending()
+    const EventKey key = heap_.PopTop();
+    Slot& s = slots_[key.slot];
+    if (s.live_gen != key.seq + 1) {
+      continue;  // cancelled, or a re-armed timer superseded this key
     }
-    now_ = ev.at;
-    ev.fn();
+    s.live_gen = 0;
+    --live_;
+    now_ = key.at;
     ++ran;
     ++executed_;
+    if (s.timer != nullptr) {
+      // Persistent slot: the callback lives in the Timer (stable storage)
+      // and may re-arm it. Don't touch `s` after the call — the closure may
+      // schedule events and grow the slab.
+      Timer* timer = s.timer;
+      timer->fn_();
+    } else {
+      std::function<void()> fn = std::move(s.fn);
+      // Minimal free: `fn` was just moved out (leaving the slot's empty) and
+      // one-shot slots never hold a timer, so only relink the freelist.
+      s.next_free = free_head_;
+      free_head_ = key.slot;
+      fn();
+    }
   }
-  if (now_ < until) {
+  if (bounded && now_ < until) {
     now_ = until;
   }
   return ran;
 }
 
-uint64_t Simulator::RunAll() {
-  uint64_t ran = 0;
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (ev.cancelled != nullptr && *ev.cancelled) {
-      continue;
-    }
-    if (ev.cancelled != nullptr) {
-      *ev.cancelled = true;
-    }
-    now_ = ev.at;
-    ev.fn();
-    ++ran;
-    ++executed_;
-  }
-  return ran;
-}
+uint64_t Simulator::RunUntil(TimeNs until) { return Run(/*bounded=*/true, until); }
+
+uint64_t Simulator::RunAll() { return Run(/*bounded=*/false, 0); }
 
 void Simulator::Clear() {
-  while (!queue_.empty()) {
-    queue_.pop();
+  heap_.Clear();
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    Slot& s = slots_[slot];
+    if (s.live_gen == 0) {
+      continue;
+    }
+    s.live_gen = 0;
+    if (s.timer == nullptr) {
+      FreeSlot(slot);
+    }
   }
+  live_ = 0;
+}
+
+// --- Simulator: handle plumbing ----------------------------------------------
+
+void Simulator::CancelHandle(const EventHandle& handle) {
+  Slot& s = slots_[handle.slot_];
+  if (s.live_gen == handle.gen_ + 1) {
+    --live_;
+    FreeSlot(handle.slot_);  // releases the closure; the heap key goes stale
+  }
+}
+
+bool Simulator::HandlePending(const EventHandle& handle) const {
+  return slots_[handle.slot_].live_gen == handle.gen_ + 1;
+}
+
+// --- Simulator: timer plumbing -----------------------------------------------
+
+uint32_t Simulator::RegisterTimer(Timer* timer) {
+  const uint32_t slot = AllocSlot();
+  slots_[slot].timer = timer;
+  return slot;
+}
+
+void Simulator::UnregisterTimer(const Timer& timer) {
+  if (slots_[timer.slot_].live_gen != 0) {
+    --live_;
+  }
+  FreeSlot(timer.slot_);
+}
+
+void Simulator::ArmTimer(const Timer& timer, TimeNs at) {
+  DRACONIS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  Slot& s = slots_[timer.slot_];
+  if (s.live_gen == 0) {
+    ++live_;
+  }
+  const uint64_t seq = next_seq_++;
+  s.live_gen = seq + 1;  // any previously pushed key for this slot goes stale
+  heap_.Push(EventKey{at, seq, timer.slot_});
+}
+
+void Simulator::DisarmTimer(const Timer& timer) {
+  Slot& s = slots_[timer.slot_];
+  if (s.live_gen != 0) {
+    s.live_gen = 0;
+    --live_;
+  }
+}
+
+bool Simulator::TimerPending(const Timer& timer) const {
+  return slots_[timer.slot_].live_gen != 0;
 }
 
 }  // namespace draconis::sim

@@ -1,27 +1,49 @@
 // Discrete-event simulator.
 //
-// The simulator owns a priority queue of (time, sequence, closure) events and
-// a virtual clock. Events scheduled for the same instant run in scheduling
-// order (the sequence number breaks ties), which gives the deterministic
-// serial packet ordering the switch model relies on.
+// The simulator owns a virtual clock and a slab of event slots indexed by a
+// binary heap of (time, sequence, slot) keys. Events scheduled for the same
+// instant run in scheduling order (the sequence number breaks ties), which
+// gives the deterministic serial packet ordering the switch model relies on.
+//
+// Engine layout:
+//  - Slots live in a free-listed slab and hold the closure; they are
+//    recycled after an event fires or is cancelled, so steady-state
+//    scheduling does not grow any container.
+//  - The heap orders trivially copyable 24-byte keys (see event_heap.h);
+//    the closure never moves during sifts.
+//  - Cancellation is O(1) and allocation-free: handles carry the slot index
+//    plus the generation the slot had when the event was scheduled. A
+//    cancelled or fired slot bumps to a new generation on reuse, so a stale
+//    handle can never touch the slot's next occupant. Cancelled events are
+//    dropped lazily when their heap key surfaces.
+//  - `Timer` is the reusable-event path for high-frequency periodic callers
+//    (executor pull loops and the like): the callback is stored once and
+//    re-arming costs one heap push — no per-occurrence allocation at all.
+//
+// Handles and timers index into the simulator's slab and must not outlive
+// it (in practice they are members of objects that already hold the
+// `Simulator*`, declared after the simulator and destroyed before it).
 
 #ifndef DRACONIS_SIM_SIMULATOR_H_
 #define DRACONIS_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/check.h"
 #include "common/time.h"
+#include "sim/event_heap.h"
 
 namespace draconis::sim {
 
+class Simulator;
+
 // Handle for a scheduled event that may be cancelled before it fires.
-// Cancellation is O(1): the event stays in the heap but is skipped when
-// popped. Copies share the same underlying event.
+// Copies refer to the same underlying event and observe each other's
+// cancellation. After the event fires or is cancelled, every copy reports
+// !pending() and further Cancel() calls are no-ops — including when the
+// slot has been recycled for a newer event (the generation check).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -35,8 +57,49 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Simulator* sim, uint32_t slot, uint64_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  uint32_t slot_ = 0;
+  uint64_t gen_ = 0;
+};
+
+// A reusable scheduled callback: bind the closure once, then arm it as often
+// as needed. At most one occurrence is pending at a time — re-arming
+// replaces the previous one. Firing and re-arming are allocation-free,
+// which is what the highest-frequency periodic callers (executor pull
+// watchdogs, drain polls) want. The callback may re-arm its own timer.
+// Non-copyable and non-movable: the simulator holds a pointer to it.
+class Timer {
+ public:
+  Timer() = default;
+  Timer(Simulator* sim, std::function<void()> fn) { Bind(sim, std::move(fn)); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer();
+
+  // Registers the timer with `sim` and stores its callback. Must be called
+  // exactly once before arming (two-phase init for members whose callback
+  // captures `this`).
+  void Bind(Simulator* sim, std::function<void()> fn);
+
+  // Arms the timer to fire at `at` / after `delay`, replacing any pending
+  // occurrence.
+  void ScheduleAt(TimeNs at);
+  void ScheduleAfter(TimeNs delay);
+
+  // Disarms the pending occurrence, if any.
+  void Cancel();
+
+  // True if an occurrence is armed and has not fired yet.
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  Simulator* sim_ = nullptr;
+  uint32_t slot_ = 0;
+  std::function<void()> fn_;
 };
 
 class Simulator {
@@ -66,34 +129,55 @@ class Simulator {
   uint64_t RunAll();
 
   // Drops every pending event (used to tear down a run that has reached its
-  // measurement horizon without draining executor loops).
+  // measurement horizon without draining executor loops). Outstanding
+  // handles and timers all report !pending() afterwards.
   void Clear();
 
-  size_t pending_events() const { return queue_.size(); }
+  // Number of live (scheduled, not yet fired or cancelled) events.
+  size_t pending_events() const { return live_; }
   uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    TimeNs at = 0;
-    uint64_t seq = 0;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;  // null for non-cancellable events
+  friend class EventHandle;
+  friend class Timer;
 
-    // Min-heap by (at, seq).
-    bool operator>(const Event& other) const {
-      if (at != other.at) {
-        return at > other.at;
-      }
-      return seq > other.seq;
-    }
+  static constexpr uint32_t kNilSlot = UINT32_MAX;
+
+  struct Slot {
+    // Generation + liveness in one word: `seq + 1` of the current occupancy
+    // while it is armed, 0 once it fires / is cancelled / is disarmed. A
+    // heap key or handle is live iff this equals its own seq + 1, which
+    // makes pop-validation and stale-handle rejection a single compare.
+    uint64_t live_gen = 0;
+    std::function<void()> fn;  // one-shot payload; empty for timer slots
+    Timer* timer = nullptr;    // set for slots pinned by a Timer
+    uint32_t next_free = kNilSlot;
   };
 
-  void Push(TimeNs at, std::function<void()> fn, std::shared_ptr<bool> cancelled);
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
+  // Schedules a one-shot event and returns (slot, gen) for handle creation.
+  EventKey Push(TimeNs at, std::function<void()> fn);
+  uint64_t Run(bool bounded, TimeNs until);
+
+  // Timer plumbing.
+  uint32_t RegisterTimer(Timer* timer);
+  void UnregisterTimer(const Timer& timer);
+  void ArmTimer(const Timer& timer, TimeNs at);
+  void DisarmTimer(const Timer& timer);
+  bool TimerPending(const Timer& timer) const;
+
+  // EventHandle plumbing.
+  void CancelHandle(const EventHandle& handle);
+  bool HandlePending(const EventHandle& handle) const;
 
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  size_t live_ = 0;
+  uint32_t free_head_ = kNilSlot;
+  std::vector<Slot> slots_;
+  EventHeap heap_;
 };
 
 }  // namespace draconis::sim

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cluster/experiment.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
 #include "workload/generators.h"
 #include "workload/google_trace.h"
 
@@ -102,6 +106,120 @@ TEST(DeterminismTest, ParallelPriorityStagesMatchProbingResults) {
             parallel.metrics->tasks_submitted() * 98 / 100);
   EXPECT_LT(parallel.switch_counters.recirculations,
             probing.switch_counters.recirculations);
+}
+
+// A shrunk Fig. 5a point: Draconis scheduler, fixed 500 us tasks, open-loop
+// load. Guards the event-engine's ordering guarantee end to end — a
+// same-seed run must reproduce every metric bit for bit, including the
+// cancellation-heavy executor-watchdog and client-timeout traffic.
+cluster::ExperimentConfig Fig05aMiniConfig() {
+  cluster::ExperimentConfig config;
+  config.scheduler = cluster::SchedulerKind::kDraconis;
+  config.num_workers = 4;
+  config.executors_per_worker = 4;
+  config.num_clients = 2;
+  config.warmup = FromMillis(2);
+  config.horizon = FromMillis(15);
+  config.max_tasks_per_packet = 1;
+  config.jbsq_k = 3;
+  config.timeout_multiplier = 5.0;
+  config.seed = 42;
+
+  workload::OpenLoopSpec spec;
+  spec.tasks_per_second = 100e3 * 16.0 / 160.0;  // the 100 ktps point, scaled
+  spec.duration = config.horizon;
+  spec.tasks_per_job = 10;
+  spec.service = workload::ServiceTime::Fixed(FromMicros(500));
+  spec.seed = config.seed;
+  config.stream = workload::GenerateOpenLoop(spec);
+  return config;
+}
+
+TEST(DeterminismTest, Fig05aShapedRunIsBitIdentical) {
+  cluster::ExperimentResult a = RunExperiment(Fig05aMiniConfig());
+  cluster::ExperimentResult b = RunExperiment(Fig05aMiniConfig());
+
+  EXPECT_EQ(a.metrics->tasks_submitted(), b.metrics->tasks_submitted());
+  EXPECT_EQ(a.metrics->tasks_completed(), b.metrics->tasks_completed());
+  EXPECT_GT(a.metrics->tasks_completed(), 0u);
+  EXPECT_EQ(a.metrics->sched_delay().count(), b.metrics->sched_delay().count());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.metrics->sched_delay().Percentile(q), b.metrics->sched_delay().Percentile(q))
+        << "q=" << q;
+    EXPECT_EQ(a.metrics->e2e_delay().Percentile(q), b.metrics->e2e_delay().Percentile(q))
+        << "q=" << q;
+  }
+  EXPECT_EQ(a.switch_counters.passes, b.switch_counters.passes);
+  EXPECT_EQ(a.draconis.tasks_assigned, b.draconis.tasks_assigned);
+  EXPECT_EQ(a.draconis.noops_sent, b.draconis.noops_sent);
+}
+
+// Builds a randomized self-extending event graph on `sim`: chains that
+// reschedule themselves, cancellable watchdogs that are armed and torn
+// down, and a periodic timer — all driven off one seeded Rng so two
+// instances evolve identically.
+struct ScriptedWorkload {
+  sim::Simulator* sim;
+  Rng rng;
+  std::vector<int>* order;
+  int remaining;
+  sim::EventHandle watchdog;
+  sim::Timer pulse;
+
+  ScriptedWorkload(sim::Simulator* s, uint64_t seed, std::vector<int>* out, int events)
+      : sim(s), rng(seed), order(out), remaining(events) {
+    pulse.Bind(sim, [this] {
+      order->push_back(-1);
+      if (remaining > 0) {
+        pulse.ScheduleAfter(17);
+      }
+    });
+    pulse.ScheduleAfter(17);
+    Tick(0);
+  }
+
+  void Tick(int id) {
+    order->push_back(id);
+    if (remaining-- <= 0) {
+      return;
+    }
+    const int next = static_cast<int>(rng.NextBelow(1 << 30));
+    sim->After(1 + static_cast<TimeNs>(rng.NextBelow(37)), [this, next] { Tick(next); });
+    // Churn a watchdog like the executor pull loop does.
+    watchdog.Cancel();
+    watchdog = sim->CancellableAfter(500 + static_cast<TimeNs>(rng.NextBelow(100)),
+                                     [this] { order->push_back(-2); });
+  }
+};
+
+TEST(DeterminismTest, RunUntilInSmallStepsEqualsOneRunAll) {
+  std::vector<int> order_all;
+  std::vector<int> order_stepped;
+  uint64_t executed_all = 0;
+  uint64_t executed_stepped = 0;
+
+  {
+    sim::Simulator sim;
+    ScriptedWorkload wl(&sim, 77, &order_all, 3000);
+    sim.RunAll();
+    executed_all = sim.executed_events();
+  }
+  {
+    sim::Simulator sim;
+    ScriptedWorkload wl(&sim, 77, &order_stepped, 3000);
+    // Many tiny uneven steps must replay the exact same history.
+    TimeNs t = 0;
+    Rng step_rng(123);
+    while (sim.pending_events() > 0) {
+      t += 1 + static_cast<TimeNs>(step_rng.NextBelow(23));
+      sim.RunUntil(t);
+    }
+    executed_stepped = sim.executed_events();
+  }
+
+  EXPECT_EQ(order_all, order_stepped);
+  EXPECT_EQ(executed_all, executed_stepped);
+  EXPECT_GT(executed_all, 3000u);
 }
 
 }  // namespace

@@ -157,5 +157,165 @@ TEST(SimulatorTest, CancelledEventsAreNotCountedAsExecuted) {
   EXPECT_EQ(s.executed_events(), 1u);
 }
 
+TEST(SimulatorTest, DoubleCancelIsSafe) {
+  Simulator s;
+  bool fired = false;
+  EventHandle h = s.CancellableAfter(10, [&] { fired = true; });
+  h.Cancel();
+  h.Cancel();  // idempotent
+  EXPECT_FALSE(h.pending());
+  s.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, HandleCopiesObserveEachOthersCancellation) {
+  Simulator s;
+  bool fired = false;
+  EventHandle a = s.CancellableAfter(10, [&] { fired = true; });
+  EventHandle b = a;
+  EXPECT_TRUE(b.pending());
+  a.Cancel();
+  EXPECT_FALSE(a.pending());
+  EXPECT_FALSE(b.pending());
+  b.Cancel();  // already cancelled via the copy; still safe
+  s.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, PendingFlipsExactlyAtFireTime) {
+  Simulator s;
+  EventHandle h;
+  bool pending_during_fire = true;
+  h = s.CancellableAt(10, [&] { pending_during_fire = h.pending(); });
+  s.RunUntil(9);
+  EXPECT_TRUE(h.pending());  // one tick before the deadline
+  s.RunUntil(10);
+  EXPECT_FALSE(pending_during_fire);  // already consumed while running
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(SimulatorTest, StaleHandleCannotCancelRecycledSlot) {
+  Simulator s;
+  // Fire (and thereby free) the first cancellable event's slot...
+  EventHandle stale = s.CancellableAt(1, [] {});
+  s.RunAll();
+  EXPECT_FALSE(stale.pending());
+  // ...then let a fresh event recycle that slot (LIFO free list: the very
+  // next allocation reuses it).
+  bool fired = false;
+  EventHandle fresh = s.CancellableAt(5, [&] { fired = true; });
+  stale.Cancel();  // generation mismatch: must not touch the new occupant
+  EXPECT_TRUE(fresh.pending());
+  s.RunAll();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, ClearInvalidatesOutstandingHandles) {
+  Simulator s;
+  bool fired = false;
+  EventHandle h = s.CancellableAt(10, [&] { fired = true; });
+  s.Clear();
+  EXPECT_FALSE(h.pending());
+  h.Cancel();  // no-op on the cleared engine
+  s.RunAll();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+// --- Timer (the reusable-event path) ----------------------------------------
+
+TEST(TimerTest, FiresAtScheduledTime) {
+  Simulator s;
+  TimeNs fired_at = -1;
+  Timer t(&s, [&] { fired_at = s.Now(); });
+  EXPECT_FALSE(t.pending());
+  t.ScheduleAt(25);
+  EXPECT_TRUE(t.pending());
+  s.RunAll();
+  EXPECT_EQ(fired_at, 25);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(TimerTest, RearmReplacesPendingOccurrence) {
+  Simulator s;
+  int fired = 0;
+  Timer t(&s, [&] { ++fired; });
+  t.ScheduleAt(10);
+  t.ScheduleAt(30);  // supersedes the first occurrence
+  s.RunUntil(20);
+  EXPECT_EQ(fired, 0);  // the time-10 occurrence was replaced, not fired
+  s.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.Now(), 30);
+}
+
+TEST(TimerTest, CancelDisarms) {
+  Simulator s;
+  int fired = 0;
+  Timer t(&s, [&] { ++fired; });
+  t.ScheduleAfter(10);
+  t.Cancel();
+  EXPECT_FALSE(t.pending());
+  t.Cancel();  // idempotent
+  s.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, CallbackCanRearmItsOwnTimer) {
+  Simulator s;
+  int fired = 0;
+  Timer t;
+  t.Bind(&s, [&] {
+    if (++fired < 5) {
+      t.ScheduleAfter(10);
+    }
+  });
+  t.ScheduleAt(10);
+  s.RunAll();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.Now(), 50);
+}
+
+TEST(TimerTest, RearmKeepsSchedulingOrderSemantics) {
+  // A timer occurrence armed after a one-shot event at the same instant
+  // runs after it (seq is assigned at arm time), and vice versa.
+  Simulator s;
+  std::vector<int> order;
+  Timer t(&s, [&] { order.push_back(2); });
+  s.At(5, [&] { order.push_back(1); });
+  t.ScheduleAt(5);
+  s.At(5, [&] { order.push_back(3); });
+  s.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerTest, DestructorCancelsPendingOccurrence) {
+  Simulator s;
+  int fired = 0;
+  {
+    Timer t(&s, [&] { ++fired; });
+    t.ScheduleAfter(10);
+    EXPECT_EQ(s.pending_events(), 1u);
+  }
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, SlotRecyclingAfterTimerDeathIsSafe) {
+  Simulator s;
+  {
+    Timer t(&s, [] {});
+    t.ScheduleAfter(100);
+  }  // timer dies with an occurrence still keyed in the heap
+  // The freed slot is recycled by ordinary events; the stale timer key must
+  // not fire them early or at all.
+  int fired = 0;
+  s.At(100, [&] { ++fired; });
+  s.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
 }  // namespace
 }  // namespace draconis::sim
