@@ -2,6 +2,7 @@
 # directories, so `for b in build/bench/*; do $b; done` runs them all.
 
 set(DRACONIS_BENCH_LIBS
+  draconis_sweep
   draconis_cluster
   draconis_baselines
   draconis_core

@@ -1,9 +1,11 @@
 // Shared helpers for the figure-reproduction benches.
 //
 // Every bench binary reproduces one table or figure from the paper: it
-// configures the simulated testbed (paper scale: 10 workers x 16 executors
-// unless the experiment says otherwise), sweeps the figure's x-axis, and
-// prints the series as an aligned text table.
+// builds a sweep::SweepSpec for the figure's points (paper scale: 10 workers
+// x 16 executors unless the experiment says otherwise), runs it through
+// SweepRunner — which owns the standard flags (--parallelism, --json,
+// --csv-dir, --horizon, --progress) — and prints the series as an aligned
+// text table from the ordered results.
 //
 // Environment:
 //   DRACONIS_BENCH_QUICK=1   shrink run horizons / sweep points (dev mode)
@@ -13,10 +15,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "cluster/experiment.h"
+#include "common/flags.h"
+#include "sweep/report.h"
+#include "sweep/sweep.h"
 #include "workload/generators.h"
 #include "workload/google_trace.h"
 
@@ -45,17 +51,20 @@ inline double UtilToTps(double util, TimeNs mean_service) {
 // clients "submit jobs with configurable sizes"; jobs default to 10-task
 // batches submitted as trains of single-task packets (see EXPERIMENTS.md) —
 // the burstiness behind R2P2's node-level blocking and drops.
+// `horizon` = 0 uses RunHorizon(); benches pass SweepRunner::horizon() so
+// --horizon reaches every point.
 inline cluster::ExperimentConfig SyntheticConfig(cluster::SchedulerKind kind, double tps,
                                                  const workload::ServiceTime& service,
                                                  uint64_t seed = 42,
-                                                 size_t tasks_per_job = 10) {
+                                                 size_t tasks_per_job = 10,
+                                                 TimeNs horizon = 0) {
   cluster::ExperimentConfig config;
   config.scheduler = kind;
   config.num_workers = kWorkers;
   config.executors_per_worker = kExecutorsPerWorker;
   config.num_clients = 4;
   config.warmup = RunWarmup();
-  config.horizon = RunHorizon();
+  config.horizon = horizon > 0 ? horizon : RunHorizon();
   config.max_tasks_per_packet = 1;
   // The paper sets client timeouts to 2x the execution time and notes that
   // typical clients use 5-10x. Our simulated baselines' tails sit closer to
@@ -81,32 +90,6 @@ inline std::string P99OrNone(const stats::Histogram& h) {
   return h.count() == 0 ? "(none)" : FormatDuration(h.Percentile(0.99));
 }
 
-// When DRACONIS_BENCH_CSV_DIR is set, dumps the histogram's CDF to
-// <dir>/<figure>_<series>.csv (value_ns,fraction) for external plotting.
-inline void MaybeDumpCdf(const char* figure, const std::string& series,
-                         const stats::Histogram& h) {
-  const char* dir = std::getenv("DRACONIS_BENCH_CSV_DIR");
-  if (dir == nullptr || h.count() == 0) {
-    return;
-  }
-  std::string name = series;
-  for (char& c : name) {
-    if (c == ' ' || c == '/' || c == '(' || c == ')') {
-      c = '_';
-    }
-  }
-  const std::string path = std::string(dir) + "/" + figure + "_" + name + ".csv";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return;
-  }
-  std::fprintf(f, "value_ns,fraction\n");
-  for (const stats::CdfPoint& p : h.Cdf()) {
-    std::fprintf(f, "%lld,%.6f\n", static_cast<long long>(p.value), p.fraction);
-  }
-  std::fclose(f);
-}
-
 inline void PrintHeader(const char* figure, const char* description) {
   std::printf("==========================================================================\n");
   std::printf("%s — %s\n", figure, description);
@@ -129,6 +112,108 @@ inline void PrintQuantileHeader(const char* label) {
   std::printf("%-24s %10s %10s %10s %10s %10s %10s\n", label, "p50", "p66", "p90", "p95",
               "p99", "p99.9");
 }
+
+// Valid values for a --scheduler flag (AddChoice); "all" disables filtering.
+inline std::vector<std::string> SchedulerChoices() {
+  return {"all", "draconis", "racksched", "r2p2", "dpdk-server", "socket-server", "sparrow"};
+}
+
+// True when a --scheduler choice selects systems of this kind.
+inline bool KeepScheduler(const std::string& choice, cluster::SchedulerKind kind) {
+  if (choice == "all") {
+    return true;
+  }
+  cluster::SchedulerKind want;
+  return cluster::SchedulerKindFromName(choice, &want) && want == kind;
+}
+
+// Drives one bench binary: owns the flag parser with the standard sweep
+// flags, executes the spec via sweep::RunSweep, and writes the --json /
+// --csv-dir reports. Bench-specific flags register through parser() before
+// ParseFlagsOrExit.
+class SweepRunner {
+ public:
+  // Benches whose run window is not a plain horizon (phased workloads, the
+  // static capacity table) pass kNoHorizonFlag so --horizon is not offered.
+  static constexpr TimeNs kNoHorizonFlag = -1;
+
+  // `default_horizon` = 0 uses RunHorizon(); benches whose paper setup runs a
+  // different window (e.g. the no-op throughput test) pass their own.
+  SweepRunner(const std::string& figure, const std::string& description,
+              TimeNs default_horizon = 0)
+      : figure_(figure),
+        description_(description),
+        parser_(figure + " — " + description) {
+    if (default_horizon > 0) {
+      horizon_ = default_horizon;
+    }
+    parser_.AddInt64("parallelism", &parallelism_,
+                     "sweep worker threads (0 = all hardware threads, 1 = serial)");
+    parser_.AddString("json", &json_path_, "write the sweep report as JSON to this path");
+    parser_.AddString("csv-dir", &csv_dir_,
+                      "dump per-point latency CDFs as CSVs into this directory");
+    parser_.AddBool("progress", &progress_, "print per-point progress to stderr");
+    if (default_horizon != kNoHorizonFlag) {
+      parser_.AddDuration("horizon", &horizon_, "measurement horizon per experiment point");
+    }
+  }
+
+  flags::Parser& parser() { return parser_; }
+  TimeNs horizon() const { return horizon_; }
+
+  void ParseFlagsOrExit(int argc, const char* const* argv) {
+    std::string error;
+    if (!parser_.Parse(argc, argv, &error)) {
+      std::fprintf(stderr, "%s\n\n%s", error.c_str(), parser_.Usage().c_str());
+      std::exit(2);
+    }
+    if (parser_.help_requested()) {
+      std::fputs(parser_.Usage().c_str(), stdout);
+      std::exit(0);
+    }
+  }
+
+  // Prints the figure header, runs the sweep, and writes the --json /
+  // --csv-dir outputs. `annotate` (optional) fills per-point scalars before
+  // the report is rendered. Results come back in point order.
+  std::vector<sweep::SweepPointResult> Run(
+      const sweep::SweepSpec& spec,
+      const std::function<void(std::vector<sweep::SweepPointResult>&)>& annotate = nullptr) {
+    PrintHeader(figure_.c_str(), description_.c_str());
+    sweep::SweepOptions options;
+    options.parallelism = parallelism_ < 0 ? 1 : static_cast<size_t>(parallelism_);
+    if (progress_) {
+      options.on_progress = [](size_t completed, size_t total,
+                               const sweep::SweepPointResult& done) {
+        std::fprintf(stderr, "[%zu/%zu] %s\n", completed, total, done.label.c_str());
+      };
+    }
+    std::vector<sweep::SweepPointResult> results = sweep::RunSweep(spec, options);
+    if (annotate) {
+      annotate(results);
+    }
+    sweep::ReportOptions report;
+    report.parallelism = sweep::EffectiveParallelism(options.parallelism, spec.points.size());
+    report.quick = Quick();
+    if (!json_path_.empty()) {
+      sweep::WriteJsonFile(json_path_, spec, results, report);
+    }
+    if (!csv_dir_.empty()) {
+      sweep::WriteCsvDir(csv_dir_, spec, results);
+    }
+    return results;
+  }
+
+ private:
+  std::string figure_;
+  std::string description_;
+  flags::Parser parser_;
+  int64_t parallelism_ = 0;
+  std::string json_path_;
+  std::string csv_dir_;
+  bool progress_ = true;
+  TimeNs horizon_ = RunHorizon();
+};
 
 }  // namespace draconis::bench
 

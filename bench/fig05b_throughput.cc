@@ -19,7 +19,8 @@ namespace {
 // Per-executor no-op pull-loop rate (calibration: 58 Mtps / 208 executors).
 constexpr double kPullRatePerExecutor = 280e3;
 
-double RunNoOp(SchedulerKind kind, size_t executors, size_t num_schedulers) {
+ExperimentConfig NoOpConfig(SchedulerKind kind, size_t executors, size_t num_schedulers,
+                            TimeNs horizon) {
   ExperimentConfig config;
   config.scheduler = kind;
   config.num_schedulers = num_schedulers;
@@ -31,7 +32,7 @@ double RunNoOp(SchedulerKind kind, size_t executors, size_t num_schedulers) {
   config.num_clients = kind == SchedulerKind::kDraconis ? 32 : 8;
   config.noop_executors = true;
   config.warmup = FromMillis(5);
-  config.horizon = Quick() ? FromMillis(10) : FromMillis(20);
+  config.horizon = horizon;
   config.seed = 7;
 
   // Feed each system ~30% past its expected ceiling so the scheduler — not
@@ -63,15 +64,18 @@ double RunNoOp(SchedulerKind kind, size_t executors, size_t num_schedulers) {
   // Single-task packets for the switch (multi-task submissions would fight
   // over the loopback port at these rates); MTU batches for the servers.
   config.max_tasks_per_packet = kind == SchedulerKind::kDraconis ? 1 : 0;
-
-  ExperimentResult result = RunExperiment(config);
-  return result.throughput_tps;
+  return config;
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader("Figure 5b", "no-op scheduling throughput vs number of executors");
+int main(int argc, char** argv) {
+  SweepRunner runner("Figure 5b", "no-op scheduling throughput vs number of executors",
+                     Quick() ? FromMillis(10) : FromMillis(20));
+  std::string scheduler = "all";
+  runner.parser().AddChoice("scheduler", &scheduler, SchedulerChoices(),
+                            "restrict the sweep to one scheduler kind");
+  runner.ParseFlagsOrExit(argc, argv);
 
   std::vector<size_t> executor_counts = {16, 52, 104, 160, 208};
   if (Quick()) {
@@ -83,13 +87,38 @@ int main() {
     SchedulerKind kind;
     size_t schedulers;
   };
-  const System systems[] = {
+  const System all_systems[] = {
       {"Draconis", SchedulerKind::kDraconis, 1},
       {"Draconis-DPDK-Server", SchedulerKind::kDraconisDpdkServer, 1},
       {"Draconis-Socket-Server", SchedulerKind::kDraconisSocketServer, 1},
       {"1 Sparrow", SchedulerKind::kSparrow, 1},
       {"2 Sparrow", SchedulerKind::kSparrow, 2},
   };
+  std::vector<System> systems;
+  for (const System& system : all_systems) {
+    if (KeepScheduler(scheduler, system.kind)) {
+      systems.push_back(system);
+    }
+  }
+
+  sweep::SweepSpec spec;
+  spec.name = "fig05b";
+  spec.title = "no-op scheduling throughput vs number of executors";
+  spec.axis = {"executors", "count"};
+  for (const System& system : systems) {
+    for (size_t n : executor_counts) {
+      sweep::SweepPoint point;
+      point.series = system.name;
+      point.x = static_cast<double>(n);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s@%zu", system.name, n);
+      point.label = label;
+      point.config = NoOpConfig(system.kind, n, system.schedulers, runner.horizon());
+      spec.points.push_back(std::move(point));
+    }
+  }
+
+  const auto results = runner.Run(spec);
 
   std::printf("%-24s", "decisions/s");
   for (size_t n : executor_counts) {
@@ -97,12 +126,11 @@ int main() {
   }
   std::printf("   (executors)\n");
 
+  size_t i = 0;
   for (const System& system : systems) {
     std::printf("%-24s", system.name);
-    for (size_t n : executor_counts) {
-      const double tps = RunNoOp(system.kind, n, system.schedulers);
-      std::printf(" %8.2fM", tps / 1e6);
-      std::fflush(stdout);
+    for (size_t col = 0; col < executor_counts.size(); ++col, ++i) {
+      std::printf(" %8.2fM", results[i].result.throughput_tps / 1e6);
     }
     std::printf("\n");
   }

@@ -15,8 +15,12 @@ using namespace draconis;
 using namespace draconis::bench;
 using namespace draconis::cluster;
 
-int main() {
-  PrintHeader("Figure 6", "p99 scheduling delay vs load, synthetic workload suite");
+int main(int argc, char** argv) {
+  SweepRunner runner("Figure 6", "p99 scheduling delay vs load, synthetic workload suite");
+  std::string scheduler = "all";
+  runner.parser().AddChoice("scheduler", &scheduler, SchedulerChoices(),
+                            "restrict the sweep to one scheduler kind");
+  runner.ParseFlagsOrExit(argc, argv);
 
   struct Panel {
     const char* name;
@@ -35,18 +39,49 @@ int main() {
     const char* name;
     SchedulerKind kind;
   };
-  const System systems[] = {
+  const System all_systems[] = {
       {"Draconis", SchedulerKind::kDraconis},
       {"RackSched", SchedulerKind::kRackSched},
       {"R2P2-3", SchedulerKind::kR2P2},
       {"Draconis-DPDK-Server", SchedulerKind::kDraconisDpdkServer},
   };
+  std::vector<System> systems;
+  for (const System& system : all_systems) {
+    if (KeepScheduler(scheduler, system.kind)) {
+      systems.push_back(system);
+    }
+  }
 
   std::vector<double> utils = {0.3, 0.5, 0.7, 0.8, 0.9};
   if (Quick()) {
     utils = {0.5, 0.8};
   }
 
+  sweep::SweepSpec spec;
+  spec.name = "fig06";
+  spec.title = "p99 scheduling delay vs load, synthetic workload suite";
+  spec.axis = {"cluster load", "fraction"};
+  for (const Panel& panel : panels) {
+    for (const System& system : systems) {
+      for (double util : utils) {
+        sweep::SweepPoint point;
+        point.series = std::string(panel.name) + " " + system.name;
+        point.x = util;
+        char label[96];
+        std::snprintf(label, sizeof(label), "%s %s@%.0f%%", panel.name, system.name,
+                      util * 100);
+        point.label = label;
+        const double tps = UtilToTps(util, panel.service.Mean());
+        point.config =
+            SyntheticConfig(system.kind, tps, panel.service, 42, 10, runner.horizon());
+        spec.points.push_back(std::move(point));
+      }
+    }
+  }
+
+  const auto results = runner.Run(spec);
+
+  size_t i = 0;
   for (const Panel& panel : panels) {
     std::printf("\n--- %s (mean %s) ---\n", panel.name,
                 FormatDuration(panel.service.Mean()).c_str());
@@ -57,12 +92,8 @@ int main() {
     std::printf("  (cluster load)\n");
     for (const System& system : systems) {
       std::printf("%-24s", system.name);
-      for (double util : utils) {
-        const double tps = UtilToTps(util, panel.service.Mean());
-        ExperimentConfig config = SyntheticConfig(system.kind, tps, panel.service);
-        ExperimentResult result = RunExperiment(config);
-        std::printf(" %9s ", P99OrNone(result.metrics->sched_delay()).c_str());
-        std::fflush(stdout);
+      for (size_t col = 0; col < utils.size(); ++col, ++i) {
+        std::printf(" %9s ", P99OrNone(results[i].result.metrics->sched_delay()).c_str());
       }
       std::printf("\n");
     }

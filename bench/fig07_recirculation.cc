@@ -16,8 +16,9 @@ using namespace draconis;
 using namespace draconis::bench;
 using namespace draconis::cluster;
 
-int main() {
-  PrintHeader("Figure 7", "recirculated packets and task drops vs load, 250 us tasks");
+int main(int argc, char** argv) {
+  SweepRunner runner("Figure 7", "recirculated packets and task drops vs load, 250 us tasks");
+  runner.ParseFlagsOrExit(argc, argv);
 
   const workload::ServiceTime service = workload::ServiceTime::Fixed(FromMicros(250));
   std::vector<double> utils = {0.70, 0.82, 0.88, 0.93, 0.97};
@@ -36,20 +37,38 @@ int main() {
       {"Draconis", SchedulerKind::kDraconis, 0},
   };
 
-  std::printf("%-12s %6s %18s %14s %16s\n", "system", "load", "recirc share", "drop share",
-              "p99 sched delay");
+  sweep::SweepSpec spec;
+  spec.name = "fig07";
+  spec.title = "recirculated packets and task drops vs load, 250 us tasks";
+  spec.axis = {"cluster load", "fraction"};
   for (const System& system : systems) {
     for (double util : utils) {
-      ExperimentConfig config =
-          SyntheticConfig(system.kind, UtilToTps(util, service.Mean()), service);
+      sweep::SweepPoint point;
+      point.series = system.name;
+      point.x = util;
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s@%.0f%%", system.name, util * 100);
+      point.label = label;
+      point.config = SyntheticConfig(system.kind, UtilToTps(util, service.Mean()), service,
+                                     42, 10, runner.horizon());
       if (system.jbsq_k > 0) {
-        config.jbsq_k = system.jbsq_k;
+        point.config.jbsq_k = system.jbsq_k;
       }
-      ExperimentResult result = RunExperiment(config);
+      spec.points.push_back(std::move(point));
+    }
+  }
+
+  const auto results = runner.Run(spec);
+
+  std::printf("%-12s %6s %18s %14s %16s\n", "system", "load", "recirc share", "drop share",
+              "p99 sched delay");
+  size_t i = 0;
+  for (const System& system : systems) {
+    for (double util : utils) {
+      const ExperimentResult& result = results[i++].result;
       std::printf("%-12s %5.0f%% %17.3f%% %13.3f%% %16s\n", system.name, util * 100,
                   result.recirculation_share * 100, result.drop_fraction * 100,
                   FormatDuration(result.metrics->sched_delay().Percentile(0.99)).c_str());
-      std::fflush(stdout);
     }
   }
 

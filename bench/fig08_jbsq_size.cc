@@ -16,8 +16,9 @@ using namespace draconis;
 using namespace draconis::bench;
 using namespace draconis::cluster;
 
-int main() {
-  PrintHeader("Figure 8", "utilization vs p99 for Draconis / R2P2-1 / R2P2-3");
+int main(int argc, char** argv) {
+  SweepRunner runner("Figure 8", "utilization vs p99 for Draconis / R2P2-1 / R2P2-3");
+  runner.ParseFlagsOrExit(argc, argv);
 
   struct Panel {
     const char* name;
@@ -44,6 +45,34 @@ int main() {
       {"R2P2-3", SchedulerKind::kR2P2, 3},
   };
 
+  sweep::SweepSpec spec;
+  spec.name = "fig08";
+  spec.title = "utilization vs p99 for Draconis / R2P2-1 / R2P2-3";
+  spec.axis = {"cluster load", "fraction"};
+  for (const Panel& panel : panels) {
+    const workload::ServiceTime service = workload::ServiceTime::Fixed(panel.service);
+    for (const System& system : systems) {
+      for (double util : utils) {
+        sweep::SweepPoint point;
+        point.series = std::string(panel.name) + " " + system.name;
+        point.x = util;
+        char label[96];
+        std::snprintf(label, sizeof(label), "%s %s@%.0f%%", panel.name, system.name,
+                      util * 100);
+        point.label = label;
+        point.config = SyntheticConfig(system.kind, UtilToTps(util, panel.service), service,
+                                       42, 10, runner.horizon());
+        if (system.jbsq_k > 0) {
+          point.config.jbsq_k = system.jbsq_k;
+        }
+        spec.points.push_back(std::move(point));
+      }
+    }
+  }
+
+  const auto results = runner.Run(spec);
+
+  size_t i = 0;
   for (const Panel& panel : panels) {
     std::printf("\n--- %s ---  (* = run had dropped tasks)\n", panel.name);
     std::printf("%-12s", "p99");
@@ -51,19 +80,12 @@ int main() {
       std::printf("   %3.0f%%    ", util * 100);
     }
     std::printf("\n");
-    const workload::ServiceTime service = workload::ServiceTime::Fixed(panel.service);
     for (const System& system : systems) {
       std::printf("%-12s", system.name);
-      for (double util : utils) {
-        ExperimentConfig config =
-            SyntheticConfig(system.kind, UtilToTps(util, panel.service), service);
-        if (system.jbsq_k > 0) {
-          config.jbsq_k = system.jbsq_k;
-        }
-        ExperimentResult result = RunExperiment(config);
+      for (size_t col = 0; col < utils.size(); ++col, ++i) {
+        const ExperimentResult& result = results[i].result;
         std::printf(" %9s%c", P99OrNone(result.metrics->sched_delay()).c_str(),
                     result.recirc_drops > 0 ? '*' : ' ');
-        std::fflush(stdout);
       }
       std::printf("\n");
     }

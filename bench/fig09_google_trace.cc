@@ -30,10 +30,31 @@ workload::JobStream MakeTrace(TimeNs horizon) {
   return workload::GenerateGoogleTrace(spec);
 }
 
+ExperimentConfig TraceConfig(SchedulerKind kind, uint32_t jbsq_k, TimeNs horizon,
+                             const workload::JobStream& trace) {
+  ExperimentConfig config;
+  config.scheduler = kind;
+  config.num_workers = kWorkers;
+  config.executors_per_worker = kExecutorsPerWorker;
+  config.num_clients = 4;
+  config.warmup = RunWarmup();
+  config.horizon = horizon;
+  config.max_tasks_per_packet = 1;
+  config.timeout_multiplier = 5.0;
+  config.stream = trace;
+  if (jbsq_k > 0) {
+    config.jbsq_k = jbsq_k;
+  }
+  return config;
+}
+
 }  // namespace
 
-int main() {
-  PrintHeader("Figure 9", "scheduling-delay CDF on the bursty Google-like trace (500 us mean)");
+int main(int argc, char** argv) {
+  SweepRunner runner("Figure 9",
+                     "scheduling-delay CDF on the bursty Google-like trace (500 us mean)",
+                     Quick() ? FromMillis(30) : FromMillis(120));
+  runner.ParseFlagsOrExit(argc, argv);
 
   struct System {
     const char* name;
@@ -50,52 +71,46 @@ int main() {
       {"Draconis-DPDK-Server", SchedulerKind::kDraconisDpdkServer, 0},
   };
 
-  const TimeNs horizon = Quick() ? FromMillis(30) : FromMillis(120);
+  const TimeNs horizon = runner.horizon();
   const workload::JobStream trace = MakeTrace(horizon);
 
+  sweep::SweepSpec spec;
+  spec.name = "fig09";
+  spec.title = "scheduling-delay CDF on the bursty Google-like trace (500 us mean)";
+  spec.axis = {"system", "n/a"};
   // The paper omits R2P2-1 from the figure because it dropped 6.3% of the
-  // trace's tasks; reproduce the claim as a note.
+  // trace's tasks; reproduce the claim as the sweep's first point.
   {
-    ExperimentConfig config;
-    config.scheduler = SchedulerKind::kR2P2;
-    config.jbsq_k = 1;
-    config.num_workers = kWorkers;
-    config.executors_per_worker = kExecutorsPerWorker;
-    config.num_clients = 4;
-    config.warmup = RunWarmup();
-    config.horizon = horizon;
-    config.max_tasks_per_packet = 1;
-    config.timeout_multiplier = 5.0;
-    config.stream = trace;
-    ExperimentResult result = RunExperiment(config);
-    std::printf("R2P2-1 dropped %.1f%% of tasks on this trace (omitted from the CDF,\n"
-                "as in the paper which reports 6.3%%).\n\n",
-                result.drop_fraction * 100);
+    sweep::SweepPoint point;
+    point.label = "R2P2-1";
+    point.series = "R2P2-1";
+    point.x = 0;
+    point.config = TraceConfig(SchedulerKind::kR2P2, 1, horizon, trace);
+    spec.points.push_back(std::move(point));
+  }
+  for (size_t s = 0; s < std::size(systems); ++s) {
+    sweep::SweepPoint point;
+    point.label = systems[s].name;
+    point.series = systems[s].name;
+    point.x = static_cast<double>(s + 1);
+    point.config = TraceConfig(systems[s].kind, systems[s].jbsq_k, horizon, trace);
+    spec.points.push_back(std::move(point));
   }
 
+  const auto results = runner.Run(spec);
+
+  std::printf("R2P2-1 dropped %.1f%% of tasks on this trace (omitted from the CDF,\n"
+              "as in the paper which reports 6.3%%).\n\n",
+              results[0].result.drop_fraction * 100);
+
   PrintQuantileHeader("sched delay");
-  for (const System& system : systems) {
-    ExperimentConfig config;
-    config.scheduler = system.kind;
-    config.num_workers = kWorkers;
-    config.executors_per_worker = kExecutorsPerWorker;
-    config.num_clients = 4;
-    config.warmup = RunWarmup();
-    config.horizon = horizon;
-    config.max_tasks_per_packet = 1;
-    config.timeout_multiplier = 5.0;
-    config.stream = trace;
-    if (system.jbsq_k > 0) {
-      config.jbsq_k = system.jbsq_k;
-    }
-    ExperimentResult result = RunExperiment(config);
-    PrintQuantileRow(system.name, result.metrics->sched_delay());
-    MaybeDumpCdf("fig09", system.name, result.metrics->sched_delay());
+  for (size_t s = 0; s < std::size(systems); ++s) {
+    const ExperimentResult& result = results[s + 1].result;
+    PrintQuantileRow(systems[s].name, result.metrics->sched_delay());
     if (result.drop_fraction > 0.0) {
       std::printf("%-24s   (dropped %.2f%% of tasks at the switch)\n", "",
                   result.drop_fraction * 100);
     }
-    std::fflush(stdout);
   }
 
   std::printf(

@@ -18,13 +18,13 @@ using namespace draconis::cluster;
 
 namespace {
 
-ExperimentResult RunLocality(PolicyKind policy) {
+ExperimentConfig LocalityConfig(PolicyKind policy, TimeNs horizon) {
   const workload::ServiceTime service = workload::ServiceTime::Fixed(FromMicros(100));
   // ~55% CPU utilization before data-access penalties; single-task jobs (the
   // workload models a steady stream of independent scan chunks).
   ExperimentConfig config =
       SyntheticConfig(SchedulerKind::kDraconis, UtilToTps(0.55, service.Mean()), service, 91,
-                      /*tasks_per_job=*/1);
+                      /*tasks_per_job=*/1, horizon);
   config.policy = policy;
   config.num_racks = 3;
   config.locality_access_model = true;
@@ -35,7 +35,7 @@ ExperimentResult RunLocality(PolicyKind policy) {
   // intentional delays don't trigger duplicate storms.
   config.timeout_multiplier = 10.0;
   workload::TagLocality(config.stream, kWorkers, 17);
-  return RunExperiment(config);
+  return config;
 }
 
 void Report(const char* name, const ExperimentResult& result) {
@@ -49,20 +49,39 @@ void Report(const char* name, const ExperimentResult& result) {
   std::printf("%-20s placement: %5.2f%% local  %5.2f%% same-rack  %5.2f%% remote\n", name,
               100 * local / total, 100 * rack / total, 100 * remote / total);
   PrintQuantileRow(name, result.metrics->e2e_delay());
-  MaybeDumpCdf("fig10", name, result.metrics->e2e_delay());
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader("Figure 10", "locality-aware scheduling vs FCFS (end-to-end delay CDF)");
+int main(int argc, char** argv) {
+  SweepRunner runner("Figure 10", "locality-aware scheduling vs FCFS (end-to-end delay CDF)");
+  runner.ParseFlagsOrExit(argc, argv);
 
-  ExperimentResult fcfs = RunLocality(PolicyKind::kFcfs);
-  ExperimentResult locality = RunLocality(PolicyKind::kLocality);
+  sweep::SweepSpec spec;
+  spec.name = "fig10";
+  spec.title = "locality-aware scheduling vs FCFS (end-to-end delay CDF)";
+  spec.axis = {"policy", "n/a"};
+  {
+    sweep::SweepPoint point;
+    point.label = "Draconis-FCFS";
+    point.series = "Draconis-FCFS";
+    point.config = LocalityConfig(PolicyKind::kFcfs, runner.horizon());
+    spec.points.push_back(std::move(point));
+  }
+  {
+    sweep::SweepPoint point;
+    point.label = "Draconis-Locality";
+    point.series = "Draconis-Locality";
+    point.x = 1;
+    point.config = LocalityConfig(PolicyKind::kLocality, runner.horizon());
+    spec.points.push_back(std::move(point));
+  }
+
+  const auto results = runner.Run(spec);
 
   PrintQuantileHeader("end-to-end delay");
-  Report("Draconis-FCFS", fcfs);
-  Report("Draconis-Locality", locality);
+  Report("Draconis-FCFS", results[0].result);
+  Report("Draconis-Locality", results[1].result);
 
   std::printf(
       "\nShape check: the locality policy multiplies the data-local placement share\n"

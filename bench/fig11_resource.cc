@@ -20,12 +20,15 @@ using namespace draconis;
 using namespace draconis::bench;
 using namespace draconis::cluster;
 
-int main() {
-  PrintHeader("Figure 11", "per-group node throughput under phased resource constraints");
+int main(int argc, char** argv) {
+  SweepRunner runner("Figure 11", "per-group node throughput under phased resource constraints",
+                     SweepRunner::kNoHorizonFlag);
+  TimeNs phase = Quick() ? FromSeconds(1) : FromSeconds(3);
+  runner.parser().AddDuration("phase", &phase, "duration of each resource-demand phase");
+  runner.ParseFlagsOrExit(argc, argv);
 
   constexpr size_t kNodes = 6;          // 2 nodes per group
   constexpr size_t kExecsPerNode = 8;   // 48 executors
-  const TimeNs phase = Quick() ? FromSeconds(1) : FromSeconds(3);
   const TimeNs task = FromMillis(10);
 
   ExperimentConfig config;
@@ -58,23 +61,37 @@ int main() {
   // for whole phases and each of their pulls starts a swap walk.
   config.executor_template.max_retry = FromMicros(500);
 
-  ExperimentResult result = RunExperiment(config);
+  sweep::SweepSpec sweep_spec;
+  sweep_spec.name = "fig11";
+  sweep_spec.title = "per-group node throughput under phased resource constraints";
+  sweep_spec.axis = {"phase", "index"};
+  {
+    sweep::SweepPoint point;
+    point.label = "resource-phases";
+    point.series = "Draconis-Resource";
+    point.config = std::move(config);
+    sweep_spec.points.push_back(std::move(point));
+  }
+
+  const auto results = runner.Run(sweep_spec);
+  const ExperimentResult& result = results[0].result;
+  const TimeNs bucket = sweep_spec.points[0].config.node_series_bucket;
 
   std::printf("last task submitted at %s; all tasks finished at %s (paper: 90 s -> ~110 s)\n\n",
               FormatDuration(3 * phase).c_str(), FormatDuration(result.drain_time).c_str());
 
   std::printf("avg tasks/s per node in each group (bucket = %s):\n",
-              FormatDuration(config.node_series_bucket).c_str());
+              FormatDuration(bucket).c_str());
   std::printf("%8s %12s %12s %12s\n", "time", "G1 (A)", "G2 (AB)", "G3 (ABC)");
-  const size_t buckets = static_cast<size_t>(result.drain_time / config.node_series_bucket) + 1;
+  const size_t buckets = static_cast<size_t>(result.drain_time / bucket) + 1;
   for (size_t b = 0; b < buckets; ++b) {
     double g[3] = {0, 0, 0};
     for (uint32_t node = 0; node < kNodes; ++node) {
       g[node / 2] += result.metrics->node_completions(node).BucketRate(b);
     }
     std::printf("%8s %12.1f %12.1f %12.1f\n",
-                FormatDuration(static_cast<TimeNs>(b) * config.node_series_bucket).c_str(),
-                g[0] / 2, g[1] / 2, g[2] / 2);
+                FormatDuration(static_cast<TimeNs>(b) * bucket).c_str(), g[0] / 2, g[1] / 2,
+                g[2] / 2);
   }
 
   std::printf(

@@ -16,7 +16,7 @@ using namespace draconis::cluster;
 
 namespace {
 
-ExperimentResult RunPriorityTrace(PolicyKind policy, TimeNs horizon) {
+ExperimentConfig PriorityTraceConfig(PolicyKind policy, TimeNs horizon) {
   workload::GoogleTraceSpec spec;
   spec.duration = horizon / 2;  // submissions stop halfway; backlog drains
   spec.mean_task_duration = FromMillis(5);
@@ -44,28 +44,48 @@ ExperimentResult RunPriorityTrace(PolicyKind policy, TimeNs horizon) {
     config.policy = PolicyKind::kPriority;
     config.priority_levels = 1;  // one class-of-service queue == FCFS
   }
-  return RunExperiment(config);
+  return config;
 }
 
 }  // namespace
 
-int main() {
-  PrintHeader("Figure 12", "queueing delay per priority level vs FCFS (5 ms Google-like trace)");
+int main(int argc, char** argv) {
+  SweepRunner runner("Figure 12",
+                     "queueing delay per priority level vs FCFS (5 ms Google-like trace)",
+                     Quick() ? FromSeconds(2) : FromSeconds(6));
+  runner.ParseFlagsOrExit(argc, argv);
 
-  const TimeNs horizon = Quick() ? FromSeconds(2) : FromSeconds(6);
+  sweep::SweepSpec spec;
+  spec.name = "fig12";
+  spec.title = "queueing delay per priority level vs FCFS (5 ms Google-like trace)";
+  spec.axis = {"policy", "n/a"};
+  {
+    sweep::SweepPoint point;
+    point.label = "priority";
+    point.series = "Draconis-Priority";
+    point.config = PriorityTraceConfig(PolicyKind::kPriority, runner.horizon());
+    spec.points.push_back(std::move(point));
+  }
+  {
+    sweep::SweepPoint point;
+    point.label = "fcfs";
+    point.series = "Draconis-FCFS";
+    point.x = 1;
+    point.config = PriorityTraceConfig(PolicyKind::kFcfs, runner.horizon());
+    spec.points.push_back(std::move(point));
+  }
 
-  ExperimentResult prio = RunPriorityTrace(PolicyKind::kPriority, horizon);
-  ExperimentResult fcfs = RunPriorityTrace(PolicyKind::kFcfs, horizon);
+  const auto results = runner.Run(spec);
+  const ExperimentResult& prio = results[0].result;
+  const ExperimentResult& fcfs = results[1].result;
 
   PrintQuantileHeader("queueing delay");
   for (size_t level = 1; level <= 4; ++level) {
     char name[32];
     std::snprintf(name, sizeof(name), "priority %zu", level);
     PrintQuantileRow(name, prio.metrics->priority_queueing(level));
-    MaybeDumpCdf("fig12", name, prio.metrics->priority_queueing(level));
   }
   PrintQuantileRow("FCFS (all tasks)", fcfs.metrics->queueing_delay());
-  MaybeDumpCdf("fig12", "fcfs", fcfs.metrics->queueing_delay());
 
   std::printf(
       "\nShape check: medians ordered p1 < p2 < p3 < p4, spanning roughly two orders\n"

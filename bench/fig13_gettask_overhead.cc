@@ -13,8 +13,9 @@ using namespace draconis;
 using namespace draconis::bench;
 using namespace draconis::cluster;
 
-int main() {
-  PrintHeader("Figure 13", "get_task() latency per priority level");
+int main(int argc, char** argv) {
+  SweepRunner runner("Figure 13", "get_task() latency per priority level");
+  runner.ParseFlagsOrExit(argc, argv);
 
   // A mixed-priority workload slightly over capacity, matching the paper's
   // loaded Fig. 12/13 setup: the low-priority queue holds a standing backlog
@@ -22,13 +23,28 @@ int main() {
   // port with empty-level probes — see EXPERIMENTS.md). Level-p fetches cost
   // p-1 recirculating probes.
   const workload::ServiceTime service = workload::ServiceTime::Fixed(FromMicros(500));
-  ExperimentConfig config = SyntheticConfig(SchedulerKind::kDraconis,
-                                            UtilToTps(1.05, service.Mean()), service, 55);
+  ExperimentConfig config =
+      SyntheticConfig(SchedulerKind::kDraconis, UtilToTps(1.05, service.Mean()), service, 55,
+                      10, runner.horizon());
   config.policy = PolicyKind::kPriority;
   config.priority_levels = 4;
   config.timeout_multiplier = 1e9;  // the backlog is intentional
   workload::TagPriorities(config.stream, {0.25, 0.25, 0.25, 0.25}, 99);
-  ExperimentResult result = RunExperiment(config);
+
+  sweep::SweepSpec spec;
+  spec.name = "fig13";
+  spec.title = "get_task() latency per priority level";
+  spec.axis = {"priority level", "level"};
+  {
+    sweep::SweepPoint point;
+    point.label = "priority-mix";
+    point.series = "Draconis-Priority";
+    point.config = std::move(config);
+    spec.points.push_back(std::move(point));
+  }
+
+  const auto results = runner.Run(spec);
+  const ExperimentResult& result = results[0].result;
 
   std::printf("%-14s %10s %10s %10s\n", "level", "p50", "p90", "p99");
   for (size_t level = 1; level <= 4; ++level) {
@@ -39,7 +55,7 @@ int main() {
                 FormatDuration(h.Percentile(0.99)).c_str());
   }
   std::printf("(priority probes recirculated: %llu)\n",
-              static_cast<unsigned long long>(result.draconis.priority_probes));
+              static_cast<unsigned long long>(result.counters.priority_probes));
 
   std::printf(
       "\nShape check: each lower priority level adds roughly one recirculation\n"

@@ -19,7 +19,8 @@
 //
 // Environment:
 //   DRACONIS_BENCH_QUICK=1    ~10x fewer events (CI smoke)
-//   DRACONIS_BENCH_JSON=path  where to write the JSON (default
+// Flags:
+//   --json=path               where to write the JSON (default
 //                             ./BENCH_sim_core.json)
 
 #include <algorithm>
@@ -35,6 +36,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/flags.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "sim/simulator.h"
@@ -404,31 +407,50 @@ bool Quick() {
   return env != nullptr && env[0] == '1';
 }
 
-bool WriteJson(const std::vector<Result>& results, bool quick) {
-  const char* env = std::getenv("DRACONIS_BENCH_JSON");
-  const std::string path = env != nullptr ? env : "BENCH_sim_core.json";
+bool WriteJson(const std::string& path, const std::vector<Result>& results, bool quick) {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("bench").String("sim_core");
+  w.Key("unit").String("events_per_sec");
+  w.Key("quick").Bool(quick);
+  w.Key("workloads").BeginArray();
+  for (const Result& r : results) {
+    w.BeginObject();
+    w.Key("name").String(r.name);
+    w.Key("events").UInt(r.events);
+    w.Key("current").Double(r.current_eps);
+    w.Key("seed_engine").Double(r.legacy_eps);
+    w.Key("speedup").Double(r.speedup());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  const std::string doc = w.str() + "\n";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"bench\": \"sim_core\",\n  \"unit\": \"events_per_sec\",\n");
-  std::fprintf(f, "  \"quick\": %s,\n  \"workloads\": [\n", quick ? "true" : "false");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"events\": %llu, \"current\": %.0f, "
-                 "\"seed_engine\": %.0f, \"speedup\": %.3f}%s\n",
-                 r.name.c_str(), static_cast<unsigned long long>(r.events), r.current_eps,
-                 r.legacy_eps, r.speedup(), i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
+  std::fwrite(doc.data(), 1, doc.size(), f);
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
   return true;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  std::string json_path = "BENCH_sim_core.json";
+  flags::Parser parser("micro_sim — wall-clock benchmark of the simulator event core");
+  parser.AddString("json", &json_path, "where to write the benchmark JSON");
+  std::string error;
+  if (!parser.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "%s\n\n%s", error.c_str(), parser.Usage().c_str());
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::fputs(parser.Usage().c_str(), stdout);
+    return 0;
+  }
+
   const bool quick = Quick();
   const uint64_t budget = quick ? 100'000 : 2'000'000;
   const int reps = quick ? 1 : 3;
@@ -448,10 +470,10 @@ int Main() {
   results.push_back(Measure("mixed_fig05a", budget / 8, reps, [](auto e, auto& sim, uint64_t b) {
     return MixedFig05a<decltype(e)>(sim, b);
   }));
-  return WriteJson(results, quick) ? 0 : 1;
+  return WriteJson(json_path, results, quick) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace draconis::bench
 
-int main() { return draconis::bench::Main(); }
+int main(int argc, char** argv) { return draconis::bench::Main(argc, argv); }

@@ -19,45 +19,92 @@ using namespace draconis;
 using namespace draconis::bench;
 using namespace draconis::cluster;
 
-int main() {
-  PrintHeader("Table: design ablations", "shadow-copy dequeue; batched submissions");
+int main(int argc, char** argv) {
+  SweepRunner runner("Table: design ablations", "shadow-copy dequeue; batched submissions");
+  runner.ParseFlagsOrExit(argc, argv);
 
   const workload::ServiceTime service = workload::ServiceTime::Fixed(FromMicros(100));
+  const workload::ServiceTime heavy = workload::ServiceTime::PaperExponential();
+
+  sweep::SweepSpec spec;
+  spec.name = "tab_ablation";
+  spec.title = "design ablations: dequeue scheme, batching, intra-node policy";
+  spec.axis = {"variant", "n/a"};
+
+  // Points 0-1: dequeue scheme (100 us tasks, 50% load: queue often empty).
+  for (bool shadow : {true, false}) {
+    sweep::SweepPoint point;
+    point.label = shadow ? "dequeue-shadow" : "dequeue-textbook";
+    point.series = "dequeue";
+    point.config = SyntheticConfig(SchedulerKind::kDraconis, UtilToTps(0.5, service.Mean()),
+                                   service, 21, 10, runner.horizon());
+    point.config.shadow_copy_dequeue = shadow;
+    spec.points.push_back(std::move(point));
+  }
+
+  // Points 2-3: submission batching (30-task jobs, 60% load).
+  for (size_t per_packet : {1, 30}) {
+    sweep::SweepPoint point;
+    point.label = per_packet == 1 ? "batch-1" : "batch-30";
+    point.series = "batching";
+    point.x = static_cast<double>(per_packet);
+    point.config = SyntheticConfig(SchedulerKind::kDraconis, UtilToTps(0.6, service.Mean()),
+                                   service, 22, /*tasks_per_job=*/30, runner.horizon());
+    point.config.max_tasks_per_packet = per_packet;
+    spec.points.push_back(std::move(point));
+  }
+
+  // Points 4-6: RackSched intra-node policy (exponential 250 us, 70% load).
+  {
+    struct Row {
+      const char* label;
+      SchedulerKind kind;
+      baselines::IntraNodePolicy intra;
+    };
+    const Row rows[] = {
+        {"intra-cfcfs", SchedulerKind::kRackSched, baselines::IntraNodePolicy::kFcfs},
+        {"intra-ps", SchedulerKind::kRackSched, baselines::IntraNodePolicy::kProcessorSharing},
+        {"intra-draconis", SchedulerKind::kDraconis, baselines::IntraNodePolicy::kFcfs},
+    };
+    for (const Row& row : rows) {
+      sweep::SweepPoint point;
+      point.label = row.label;
+      point.series = "intra-node";
+      point.config =
+          SyntheticConfig(row.kind, UtilToTps(0.7, heavy.Mean()), heavy, 23, 10,
+                          runner.horizon());
+      point.config.racksched_intra_policy = row.intra;
+      spec.points.push_back(std::move(point));
+    }
+  }
+
+  const auto results = runner.Run(spec);
 
   std::printf("--- dequeue scheme (100 us tasks, 50%% load: the queue is often empty) ---\n");
   std::printf("%-28s %14s %14s %12s %14s\n", "scheme", "recirc share", "repairs/s",
               "p99 sched", "drops");
-  for (bool shadow : {true, false}) {
-    ExperimentConfig config =
-        SyntheticConfig(SchedulerKind::kDraconis, UtilToTps(0.5, service.Mean()), service, 21);
-    config.shadow_copy_dequeue = shadow;
-    ExperimentResult result = RunExperiment(config);
-    const double seconds = ToSeconds(config.horizon);
+  for (size_t i = 0; i < 2; ++i) {
+    const ExperimentResult& result = results[i].result;
+    const double seconds = ToSeconds(spec.points[i].config.horizon);
     std::printf("%-28s %13.3f%% %14.0f %12s %14llu\n",
-                shadow ? "shadow-copy (production)" : "overrun+repair (paper §4.5)",
+                i == 0 ? "shadow-copy (production)" : "overrun+repair (paper §4.5)",
                 result.recirculation_share * 100,
-                static_cast<double>(result.draconis.retrieve_repairs) / seconds,
+                static_cast<double>(result.counters.retrieve_repairs) / seconds,
                 FormatDuration(result.metrics->sched_delay().Percentile(0.99)).c_str(),
                 static_cast<unsigned long long>(result.recirc_drops));
-    std::fflush(stdout);
   }
 
   std::printf("\n--- submission batching (30-task jobs, 60%% load) ---\n");
   std::printf("%-28s %14s %14s %12s\n", "packetization", "recirc share", "acks/s",
               "p99 sched");
-  for (size_t per_packet : {1, 30}) {
-    ExperimentConfig config = SyntheticConfig(SchedulerKind::kDraconis,
-                                              UtilToTps(0.6, service.Mean()), service, 22,
-                                              /*tasks_per_job=*/30);
-    config.max_tasks_per_packet = per_packet;
-    ExperimentResult result = RunExperiment(config);
-    const double seconds = ToSeconds(config.horizon);
+  for (size_t i = 2; i < 4; ++i) {
+    const ExperimentResult& result = results[i].result;
+    const double seconds = ToSeconds(spec.points[i].config.horizon);
     std::printf("%-28s %13.3f%% %14.0f %12s\n",
-                per_packet == 1 ? "single-task packets" : "one 30-task packet per job",
+                i == 2 ? "single-task packets" : "one 30-task packet per job",
                 result.recirculation_share * 100,
-                static_cast<double>(result.draconis.acks_sent) / seconds,
+                static_cast<double>(result.counters.acks_sent) / seconds,
                 FormatDuration(result.metrics->sched_delay().Percentile(0.99)).c_str());
-    std::fflush(stdout);
   }
 
   std::printf("\n--- RackSched intra-node policy (exponential 250 us tasks, 70%% load) ---\n");
@@ -65,33 +112,16 @@ int main() {
               " end-to-end shows the whole trade)\n");
   std::printf("%-28s %12s %12s %12s %12s\n", "configuration", "p50 sched", "p99 sched",
               "p50 e2e", "p99 e2e");
-  {
-    const workload::ServiceTime heavy = workload::ServiceTime::PaperExponential();
-    struct Row {
-      const char* name;
-      SchedulerKind kind;
-      baselines::IntraNodePolicy intra;
-    };
-    const Row rows[] = {
-        {"RackSched + cFCFS", SchedulerKind::kRackSched, baselines::IntraNodePolicy::kFcfs},
-        {"RackSched + PS", SchedulerKind::kRackSched,
-         baselines::IntraNodePolicy::kProcessorSharing},
-        {"Draconis (cFCFS)", SchedulerKind::kDraconis, baselines::IntraNodePolicy::kFcfs},
-    };
-    for (const Row& row : rows) {
-      ExperimentConfig config =
-          SyntheticConfig(row.kind, UtilToTps(0.7, heavy.Mean()), heavy, 23);
-      config.racksched_intra_policy = row.intra;
-      ExperimentResult result = RunExperiment(config);
-      const auto& sched = result.metrics->sched_delay();
-      const auto& e2e = result.metrics->e2e_delay();
-      std::printf("%-28s %12s %12s %12s %12s\n", row.name,
-                  FormatDuration(sched.Percentile(0.5)).c_str(),
-                  FormatDuration(sched.Percentile(0.99)).c_str(),
-                  FormatDuration(e2e.Percentile(0.5)).c_str(),
-                  FormatDuration(e2e.Percentile(0.99)).c_str());
-      std::fflush(stdout);
-    }
+  const char* intra_names[] = {"RackSched + cFCFS", "RackSched + PS", "Draconis (cFCFS)"};
+  for (size_t i = 4; i < 7; ++i) {
+    const ExperimentResult& result = results[i].result;
+    const auto& sched = result.metrics->sched_delay();
+    const auto& e2e = result.metrics->e2e_delay();
+    std::printf("%-28s %12s %12s %12s %12s\n", intra_names[i - 4],
+                FormatDuration(sched.Percentile(0.5)).c_str(),
+                FormatDuration(sched.Percentile(0.99)).c_str(),
+                FormatDuration(e2e.Percentile(0.5)).c_str(),
+                FormatDuration(e2e.Percentile(0.99)).c_str());
   }
 
   std::printf(

@@ -6,6 +6,7 @@
 // estimated 1 M tasks and 12 priority levels on Tofino 2.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 #include "core/draconis_program.h"
@@ -33,20 +34,17 @@ size_t QueueBytes(size_t capacity, size_t levels) {
 
 }  // namespace
 
-int main() {
-  PrintHeader("Table: switch memory capacity", "queue sizes vs switch SRAM budgets (§7)");
+int main(int argc, char** argv) {
+  SweepRunner runner("Table: switch memory capacity", "queue sizes vs switch SRAM budgets (§7)",
+                     SweepRunner::kNoHorizonFlag);
+  runner.ParseFlagsOrExit(argc, argv);
 
-  std::printf("per-entry footprint: %zu bytes (TASK_INFO %zu + client 6 + skip/valid 4)\n\n",
-              core::QueueEntry::kWireSize, net::TaskInfo::kWireSize);
-
-  std::printf("%-28s %14s %12s %12s\n", "configuration", "register SRAM", "Tofino-1?",
-              "Tofino-2?");
   struct Config {
     const char* name;
     size_t capacity;
     size_t levels;
   };
-  const Config configs[] = {
+  const std::vector<Config> configs = {
       {"FCFS, 164K entries", 164 * 1024, 1},
       {"FCFS, 1M entries", 1024 * 1024, 1},
       {"4 levels x 64K", 64 * 1024, 4},
@@ -54,12 +52,41 @@ int main() {
       {"12 levels x 64K", 64 * 1024, 12},
       {"12 levels x 164K", 164 * 1024, 12},
   };
+
+  sweep::SweepSpec spec;
+  spec.name = "tab_capacity";
+  spec.title = "queue sizes vs switch SRAM budgets (§7)";
+  spec.axis = {"queue capacity", "entries"};
+  // No simulation: each point is a static SRAM-footprint computation, done in
+  // the annotate pass below.
+  spec.run = [](const cluster::ExperimentConfig&) { return cluster::ExperimentResult{}; };
   for (const Config& config : configs) {
-    const size_t bytes = QueueBytes(config.capacity, config.levels);
-    std::printf("%-28s %11.2f MiB %12s %12s\n", config.name,
-                static_cast<double>(bytes) / (1024 * 1024),
-                static_cast<double>(bytes) <= kTofino1Sram ? "fits" : "no",
-                static_cast<double>(bytes) <= kTofino2Sram ? "fits" : "no");
+    sweep::SweepPoint point;
+    point.label = config.name;
+    point.series = "capacity";
+    point.x = static_cast<double>(config.capacity);
+    point.config.queue_capacity = config.capacity;
+    point.config.priority_levels = config.levels;
+    spec.points.push_back(std::move(point));
+  }
+
+  const auto results = runner.Run(spec, [&spec](std::vector<sweep::SweepPointResult>& points) {
+    for (sweep::SweepPointResult& point : points) {
+      const cluster::ExperimentConfig& config = spec.points[point.index].config;
+      point.scalars["register_sram_bytes"] =
+          static_cast<double>(QueueBytes(config.queue_capacity, config.priority_levels));
+    }
+  });
+
+  std::printf("per-entry footprint: %zu bytes (TASK_INFO %zu + client 6 + skip/valid 4)\n\n",
+              core::QueueEntry::kWireSize, net::TaskInfo::kWireSize);
+
+  std::printf("%-28s %14s %12s %12s\n", "configuration", "register SRAM", "Tofino-1?",
+              "Tofino-2?");
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const double bytes = results[i].scalars.at("register_sram_bytes");
+    std::printf("%-28s %11.2f MiB %12s %12s\n", configs[i].name, bytes / (1024 * 1024),
+                bytes <= kTofino1Sram ? "fits" : "no", bytes <= kTofino2Sram ? "fits" : "no");
   }
 
   std::printf(

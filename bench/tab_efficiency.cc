@@ -7,6 +7,7 @@
 // the achieved busy fraction per task duration.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 
@@ -14,24 +15,42 @@ using namespace draconis;
 using namespace draconis::bench;
 using namespace draconis::cluster;
 
-int main() {
-  PrintHeader("Table: pull-model CPU efficiency",
-              "maximum executor utilization under the pull model (§3.1)");
+int main(int argc, char** argv) {
+  SweepRunner runner("Table: pull-model CPU efficiency",
+                     "maximum executor utilization under the pull model (§3.1)");
+  runner.ParseFlagsOrExit(argc, argv);
+
+  const std::vector<TimeNs> durations = {FromMicros(25), FromMicros(50), FromMicros(100),
+                                         FromMicros(250), FromMicros(500)};
+
+  sweep::SweepSpec spec;
+  spec.name = "tab_efficiency";
+  spec.title = "maximum executor utilization under the pull model (§3.1)";
+  spec.axis = {"task duration", "us"};
+  for (TimeNs duration : durations) {
+    const workload::ServiceTime service = workload::ServiceTime::Fixed(duration);
+    sweep::SweepPoint point;
+    point.label = FormatDuration(duration);
+    point.series = "Draconis";
+    point.x = static_cast<double>(duration) / 1000.0;
+    // 30% overfeed keeps the central queue non-empty throughout.
+    point.config = SyntheticConfig(SchedulerKind::kDraconis, UtilToTps(1.3, duration), service,
+                                   3, 10, runner.horizon());
+    point.config.timeout_multiplier = 1e9;  // the backlog is intentional; no resubmission
+    spec.points.push_back(std::move(point));
+  }
+
+  const auto results = runner.Run(spec, [](std::vector<sweep::SweepPointResult>& points) {
+    for (sweep::SweepPointResult& point : points) {
+      point.scalars["efficiency_loss"] = 1.0 - point.result.executor_busy_fraction;
+    }
+  });
 
   std::printf("%-14s %14s %14s\n", "task duration", "max busy frac", "efficiency loss");
-  for (TimeNs duration : {FromMicros(25), FromMicros(50), FromMicros(100), FromMicros(250),
-                          FromMicros(500)}) {
-    const workload::ServiceTime service = workload::ServiceTime::Fixed(duration);
-    // 30% overfeed keeps the central queue non-empty throughout.
-    ExperimentConfig config =
-        SyntheticConfig(SchedulerKind::kDraconis, UtilToTps(1.3, duration), service, 3);
-    config.timeout_multiplier = 1e9;  // the backlog is intentional; no resubmission
-    ExperimentResult result = RunExperiment(config);
-
-    const double busy = result.executor_busy_fraction;
-    std::printf("%-14s %13.2f%% %13.2f%%\n", FormatDuration(duration).c_str(), busy * 100,
+  for (size_t i = 0; i < durations.size(); ++i) {
+    const double busy = results[i].result.executor_busy_fraction;
+    std::printf("%-14s %13.2f%% %13.2f%%\n", FormatDuration(durations[i]).c_str(), busy * 100,
                 (1.0 - busy) * 100);
-    std::fflush(stdout);
   }
 
   std::printf(

@@ -11,6 +11,7 @@
 //     cores at task duration T; queue memory bounds the backlog it can park.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 #include "core/queue_entry.h"
@@ -34,13 +35,18 @@ double MaxCores(TimeNs task_duration) {
 
 }  // namespace
 
-int main() {
-  PrintHeader("Table: scalability analysis",
-              "switch headroom vs cluster size (paper §8.2)");
+int main(int argc, char** argv) {
+  SweepRunner runner("Table: scalability analysis",
+                     "switch headroom vs cluster size (paper §8.2)", FromMillis(12));
+  runner.ParseFlagsOrExit(argc, argv);
 
-  std::printf("--- measured: pull throughput grows linearly with executors ---\n");
-  std::printf("%12s %16s %18s\n", "executors", "decisions/s", "per-executor");
-  for (size_t executors : {16, 64, 160}) {
+  const std::vector<size_t> executor_counts = {16, 64, 160};
+
+  sweep::SweepSpec spec;
+  spec.name = "tab_scalability";
+  spec.title = "switch headroom vs cluster size (paper §8.2)";
+  spec.axis = {"executors", "count"};
+  for (size_t executors : executor_counts) {
     ExperimentConfig config;
     config.scheduler = SchedulerKind::kDraconis;
     config.num_workers = 8;
@@ -48,21 +54,38 @@ int main() {
     config.num_clients = 16;
     config.noop_executors = true;
     config.warmup = FromMillis(5);
-    config.horizon = FromMillis(12);
+    config.horizon = runner.horizon();
     config.max_tasks_per_packet = 1;
     const double total =
         static_cast<double>(config.num_workers * config.executors_per_worker);
-    workload::OpenLoopSpec spec;
-    spec.tasks_per_second = 0.98 * 280e3 * total;
-    spec.duration = config.horizon;
-    spec.tasks_per_job = 16;
-    spec.service = workload::ServiceTime::Fixed(0);
-    spec.seed = 70;
-    config.stream = workload::GenerateOpenLoop(spec);
-    ExperimentResult result = RunExperiment(config);
-    std::printf("%12.0f %15.2fM %17.0fk\n", total, result.throughput_tps / 1e6,
-                result.throughput_tps / total / 1e3);
-    std::fflush(stdout);
+    workload::OpenLoopSpec stream_spec;
+    stream_spec.tasks_per_second = 0.98 * 280e3 * total;
+    stream_spec.duration = config.horizon;
+    stream_spec.tasks_per_job = 16;
+    stream_spec.service = workload::ServiceTime::Fixed(0);
+    stream_spec.seed = 70;
+    config.stream = workload::GenerateOpenLoop(stream_spec);
+
+    sweep::SweepPoint point;
+    char label[32];
+    std::snprintf(label, sizeof(label), "executors-%zu", executors);
+    point.label = label;
+    point.series = "Draconis";
+    point.x = static_cast<double>(executors);
+    point.config = std::move(config);
+    spec.points.push_back(std::move(point));
+  }
+
+  const auto results = runner.Run(spec);
+
+  std::printf("--- measured: pull throughput grows linearly with executors ---\n");
+  std::printf("%12s %16s %18s\n", "executors", "decisions/s", "per-executor");
+  for (size_t i = 0; i < executor_counts.size(); ++i) {
+    const ExperimentConfig& config = spec.points[i].config;
+    const double total =
+        static_cast<double>(config.num_workers * config.executors_per_worker);
+    std::printf("%12.0f %15.2fM %17.0fk\n", total, results[i].result.throughput_tps / 1e6,
+                results[i].result.throughput_tps / total / 1e3);
   }
 
   std::printf("\n--- analytic: cores supported at the switch packet budget ---\n");

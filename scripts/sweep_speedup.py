@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Measure the sweep engine's parallel speedup and record it in BENCH_sweep.json.
+
+Runs one converted bench binary (fig05a by default) in QUICK mode twice —
+once with --parallelism=1 and once with --parallelism=<cores> — and compares
+wall-clock time. The two runs must also produce bit-identical point metrics;
+this doubles as an end-to-end determinism check outside the unit tests.
+
+Usage: scripts/sweep_speedup.py [--bench PATH] [--parallelism N] [--out PATH]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def run_once(bench: str, parallelism: int, json_path: str) -> float:
+    env = dict(os.environ, DRACONIS_BENCH_QUICK="1")
+    start = time.monotonic()
+    subprocess.run(
+        [bench, f"--parallelism={parallelism}", f"--json={json_path}", "--progress=false"],
+        env=env,
+        check=True,
+        stdout=subprocess.DEVNULL,
+    )
+    return time.monotonic() - start
+
+
+def strip_parallelism(doc: dict) -> dict:
+    doc = dict(doc)
+    doc.pop("parallelism", None)
+    return doc
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bench", default="build/bench/fig05a_latency_500us")
+    parser.add_argument("--parallelism", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    args = parser.parse_args()
+
+    serial_json = args.out + ".serial.tmp"
+    parallel_json = args.out + ".parallel.tmp"
+    serial_s = run_once(args.bench, 1, serial_json)
+    parallel_s = run_once(args.bench, args.parallelism, parallel_json)
+
+    with open(serial_json) as f:
+        serial_doc = json.load(f)
+    with open(parallel_json) as f:
+        parallel_doc = json.load(f)
+    identical = strip_parallelism(serial_doc) == strip_parallelism(parallel_doc)
+    os.remove(serial_json)
+    os.remove(parallel_json)
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    result = {
+        "bench": "sweep_speedup",
+        "schema_version": 1,
+        "target": os.path.basename(args.bench),
+        "quick": True,
+        "cores": os.cpu_count(),
+        "parallelism": args.parallelism,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(speedup, 2),
+        "bit_identical": identical,
+        "points": len(serial_doc.get("points", [])),
+    }
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(json.dumps(result, indent=2))
+
+    if not identical:
+        print("FAIL: serial and parallel runs produced different metrics", file=sys.stderr)
+        return 1
+    # The speedup gate only makes sense on a multi-core runner; a 1-core box
+    # still validates bit-identity above.
+    if args.parallelism >= 4 and speedup < 2.0:
+        print(f"FAIL: expected >=2x speedup at parallelism={args.parallelism}, "
+              f"got {speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+// RackSched's intra-node scheduling policy (§2.2), split from racksched.h so
+// the experiment API can name it without pulling the whole baseline in.
+
+#ifndef DRACONIS_BASELINES_INTRA_NODE_POLICY_H_
+#define DRACONIS_BASELINES_INTRA_NODE_POLICY_H_
+
+namespace draconis::baselines {
+
+enum class IntraNodePolicy {
+  kFcfs,              // run-to-completion, no preemption (light-tailed)
+  kProcessorSharing,  // preemptive equal sharing of the cores (heavy-tailed)
+};
+
+}  // namespace draconis::baselines
+
+#endif  // DRACONIS_BASELINES_INTRA_NODE_POLICY_H_

@@ -29,6 +29,7 @@
 #include <deque>
 #include <vector>
 
+#include "baselines/intra_node_policy.h"
 #include "cluster/metrics.h"
 #include "common/rng.h"
 #include "common/time.h"
@@ -66,12 +67,6 @@ class RackSchedProgram : public p4::SwitchProgram {
   std::vector<int32_t> queue_len_;  // behavioral stand-in for replicated registers
   std::vector<net::NodeId> worker_of_node_;
   RackSchedCounters counters_;
-};
-
-// RackSched's intra-node scheduling policy (§2.2).
-enum class IntraNodePolicy {
-  kFcfs,              // run-to-completion, no preemption (light-tailed)
-  kProcessorSharing,  // preemptive equal sharing of the cores (heavy-tailed)
 };
 
 // Worker node: one queue feeding `num_executors` cores through an intra-node

@@ -1,10 +1,16 @@
 #include "cluster/experiment.h"
 
 #include <algorithm>
+#include <cctype>
 #include <utility>
 
+#include "baselines/central_server.h"
+#include "baselines/r2p2.h"
+#include "baselines/racksched.h"
+#include "baselines/sparrow.h"
 #include "cluster/client.h"
 #include "common/check.h"
+#include "core/draconis_program.h"
 #include "core/topology.h"
 #include "sim/simulator.h"
 #include "workload/generators.h"
@@ -60,6 +66,14 @@ uint32_t ExecPropsFor(const ExperimentConfig& config, size_t worker) {
   }
 }
 
+std::string AsciiLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* SchedulerKindName(SchedulerKind kind) {
@@ -78,6 +92,58 @@ const char* SchedulerKindName(SchedulerKind kind) {
       return "Sparrow";
   }
   return "unknown";
+}
+
+bool SchedulerKindFromName(const std::string& name, SchedulerKind* out) {
+  DRACONIS_CHECK(out != nullptr);
+  static constexpr SchedulerKind kAll[] = {
+      SchedulerKind::kDraconis,           SchedulerKind::kDraconisDpdkServer,
+      SchedulerKind::kDraconisSocketServer, SchedulerKind::kR2P2,
+      SchedulerKind::kRackSched,          SchedulerKind::kSparrow,
+  };
+  const std::string lower = AsciiLower(name);
+  for (SchedulerKind kind : kAll) {
+    if (lower == AsciiLower(SchedulerKindName(kind))) {
+      *out = kind;
+      return true;
+    }
+  }
+  // Short flag spellings.
+  if (lower == "dpdk-server") {
+    *out = SchedulerKind::kDraconisDpdkServer;
+    return true;
+  }
+  if (lower == "socket-server") {
+    *out = SchedulerKind::kDraconisSocketServer;
+    return true;
+  }
+  return false;
+}
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFcfs:
+      return "fcfs";
+    case PolicyKind::kPriority:
+      return "priority";
+    case PolicyKind::kResource:
+      return "resource";
+    case PolicyKind::kLocality:
+      return "locality";
+  }
+  return "unknown";
+}
+
+bool PolicyKindFromName(const std::string& name, PolicyKind* out) {
+  DRACONIS_CHECK(out != nullptr);
+  for (PolicyKind kind : {PolicyKind::kFcfs, PolicyKind::kPriority, PolicyKind::kResource,
+                          PolicyKind::kLocality}) {
+    if (AsciiLower(name) == PolicyKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
@@ -320,23 +386,41 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     result.recirc_drops = result.switch_counters.recirc_drops;
   }
   if (draconis_program != nullptr) {
-    result.draconis = draconis_program->counters();
+    const core::DraconisCounters& c = draconis_program->counters();
+    result.counters.tasks_enqueued = c.tasks_enqueued;
+    result.counters.tasks_assigned = c.tasks_assigned;
+    result.counters.noops_sent = c.noops_sent;
+    result.counters.queue_full_errors = c.queue_full_errors;
+    result.counters.acks_sent = c.acks_sent;
+    result.counters.add_repairs = c.add_repairs;
+    result.counters.retrieve_repairs = c.retrieve_repairs;
+    result.counters.swap_walks_started = c.swap_walks_started;
+    result.counters.swap_exchanges = c.swap_exchanges;
+    result.counters.swap_requeues = c.swap_requeues;
+    result.counters.priority_probes = c.priority_probes;
   }
   if (r2p2_program != nullptr) {
-    result.r2p2 = r2p2_program->counters();
+    const baselines::R2P2Counters& c = r2p2_program->counters();
+    result.counters.tasks_pushed = c.tasks_pushed;
+    result.counters.credit_wait_recirculations = c.credit_wait_recirculations;
+    result.counters.credits = c.credits;
   }
   if (racksched_program != nullptr) {
-    result.racksched = racksched_program->counters();
+    const baselines::RackSchedCounters& c = racksched_program->counters();
+    result.counters.tasks_pushed = c.tasks_pushed;
+    result.counters.credits = c.credits;
   }
-  if (!sparrow_schedulers.empty()) {
-    for (const auto& s : sparrow_schedulers) {
-      result.sparrow.probes_sent += s->counters().probes_sent;
-      result.sparrow.tasks_launched += s->counters().tasks_launched;
-      result.sparrow.empty_get_tasks += s->counters().empty_get_tasks;
-    }
+  for (const auto& s : sparrow_schedulers) {
+    result.counters.probes_sent += s->counters().probes_sent;
+    result.counters.tasks_launched += s->counters().tasks_launched;
+    result.counters.empty_get_tasks += s->counters().empty_get_tasks;
   }
   if (server != nullptr) {
-    result.server = server->counters();
+    const baselines::CentralServerCounters& c = server->counters();
+    result.counters.tasks_enqueued = c.tasks_enqueued;
+    result.counters.tasks_assigned = c.tasks_assigned;
+    result.counters.parked_requests = c.parked_requests;
+    result.counters.queue_full_errors = c.queue_full_errors;
   }
 
   const size_t offered_tasks = workload::TotalTasks(stream);

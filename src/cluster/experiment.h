@@ -1,7 +1,13 @@
 // One-call experiment harness: builds a simulated testbed (network, a
 // scheduler of the chosen kind, workers/executors, clients), replays a
 // generated job stream, and harvests metrics. Every figure-reproduction
-// bench in bench/ is a thin sweep over RunExperiment.
+// bench in bench/ is a thin sweep over RunExperiment (see src/sweep/ for the
+// parallel sweep engine that drives it).
+//
+// This header is the public experiment API: it deliberately avoids the
+// per-scheduler baseline headers (their counters are flattened into
+// SchedulerCounters) so that adding or reworking a scheduler does not ripple
+// through every bench TU.
 
 #ifndef DRACONIS_CLUSTER_EXPERIMENT_H_
 #define DRACONIS_CLUSTER_EXPERIMENT_H_
@@ -11,13 +17,10 @@
 #include <string>
 #include <vector>
 
-#include "baselines/central_server.h"
-#include "baselines/r2p2.h"
-#include "baselines/racksched.h"
-#include "baselines/sparrow.h"
+#include "baselines/intra_node_policy.h"
 #include "cluster/executor.h"
 #include "cluster/metrics.h"
-#include "core/draconis_program.h"
+#include "cluster/scheduler_counters.h"
 #include "core/policy.h"
 #include "net/network.h"
 #include "p4/pipeline.h"
@@ -34,9 +37,19 @@ enum class SchedulerKind {
   kSparrow,
 };
 
+// Canonical display name ("Draconis", "R2P2", ...).
 const char* SchedulerKindName(SchedulerKind kind);
 
+// Parses a scheduler name — the canonical display name or its lower-case
+// flag spelling ("draconis", "dpdk-server", "socket-server", "r2p2",
+// "racksched", "sparrow") — into *out. Returns false on an unknown name.
+bool SchedulerKindFromName(const std::string& name, SchedulerKind* out);
+
 enum class PolicyKind { kFcfs, kPriority, kResource, kLocality };
+
+// Round-trippable policy name ("fcfs", "priority", "resource", "locality").
+const char* PolicyKindName(PolicyKind kind);
+bool PolicyKindFromName(const std::string& name, PolicyKind* out);
 
 struct ExperimentConfig {
   SchedulerKind scheduler = SchedulerKind::kDraconis;
@@ -87,11 +100,10 @@ struct ExperimentResult {
 
   // Switch-side observability (zeroed for pure server schedulers).
   p4::PipelineCounters switch_counters{};
-  core::DraconisCounters draconis{};
-  baselines::R2P2Counters r2p2{};
-  baselines::RackSchedCounters racksched{};
-  baselines::SparrowCounters sparrow{};
-  baselines::CentralServerCounters server{};
+
+  // Whichever scheduler ran reports into this flat aggregate; fields the
+  // scheduler does not produce stay zero.
+  SchedulerCounters counters{};
 
   double recirculation_share = 0.0;  // recirculated / processed passes
   uint64_t recirc_drops = 0;

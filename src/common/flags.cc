@@ -27,7 +27,23 @@ void Parser::AddBool(const std::string& name, bool* out, const std::string& help
 
 void Parser::AddString(const std::string& name, std::string* out, const std::string& help) {
   DRACONIS_CHECK(out != nullptr && Find(name) == nullptr);
-  registered_.push_back(Flag{name, Kind::kString, out, help, *out});
+  registered_.push_back(Flag{name, Kind::kString, out, help, *out, {}});
+}
+
+void Parser::AddDuration(const std::string& name, TimeNs* out, const std::string& help) {
+  DRACONIS_CHECK(out != nullptr && Find(name) == nullptr);
+  registered_.push_back(Flag{name, Kind::kDuration, out, help, FormatDuration(*out), {}});
+}
+
+void Parser::AddChoice(const std::string& name, std::string* out,
+                       std::vector<std::string> choices, const std::string& help) {
+  DRACONIS_CHECK(out != nullptr && Find(name) == nullptr && !choices.empty());
+  bool default_listed = false;
+  for (const std::string& choice : choices) {
+    default_listed = default_listed || choice == *out;
+  }
+  DRACONIS_CHECK_MSG(default_listed, "the default must be one of the choices");
+  registered_.push_back(Flag{name, Kind::kChoice, out, help, *out, std::move(choices)});
 }
 
 const Parser::Flag* Parser::Find(const std::string& name) const {
@@ -72,6 +88,16 @@ bool Parser::Assign(const Flag& flag, const std::string& value) {
     case Kind::kString:
       *static_cast<std::string*>(flag.target) = value;
       return true;
+    case Kind::kDuration:
+      return ParseDuration(value, static_cast<TimeNs*>(flag.target));
+    case Kind::kChoice:
+      for (const std::string& choice : flag.choices) {
+        if (value == choice) {
+          *static_cast<std::string*>(flag.target) = value;
+          return true;
+        }
+      }
+      return false;
   }
   return false;
 }
@@ -126,8 +152,15 @@ std::string Parser::Usage() const {
   std::ostringstream os;
   os << description_ << "\n\nFlags:\n";
   for (const Flag& flag : registered_) {
-    os << "  --" << flag.name << "  (default: " << flag.default_text << ")\n      "
-       << flag.help << "\n";
+    os << "  --" << flag.name << "  (default: " << flag.default_text << ")";
+    if (flag.kind == Kind::kChoice) {
+      os << "  [";
+      for (size_t i = 0; i < flag.choices.size(); ++i) {
+        os << (i > 0 ? "|" : "") << flag.choices[i];
+      }
+      os << "]";
+    }
+    os << "\n      " << flag.help << "\n";
   }
   return os.str();
 }

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/time.h"
+
 namespace draconis::flags {
 
 class Parser {
@@ -22,6 +24,14 @@ class Parser {
   void AddBool(const std::string& name, bool* out, const std::string& help);
   void AddString(const std::string& name, std::string* out, const std::string& help);
 
+  // A duration with a unit suffix: accepts "500us", "40ms", "1.5s", "250ns".
+  void AddDuration(const std::string& name, TimeNs* out, const std::string& help);
+
+  // A string restricted to a fixed choice set; parsing rejects anything else
+  // and Usage() lists the alternatives. `*out` must be one of `choices`.
+  void AddChoice(const std::string& name, std::string* out,
+                 std::vector<std::string> choices, const std::string& help);
+
   // Parses argv. On error fills *error and returns false. "--help" sets
   // help_requested() and returns true without touching other flags.
   bool Parse(int argc, const char* const* argv, std::string* error);
@@ -30,7 +40,7 @@ class Parser {
   std::string Usage() const;
 
  private:
-  enum class Kind { kDouble, kInt64, kBool, kString };
+  enum class Kind { kDouble, kInt64, kBool, kString, kDuration, kChoice };
 
   struct Flag {
     std::string name;
@@ -38,6 +48,7 @@ class Parser {
     void* target;
     std::string help;
     std::string default_text;
+    std::vector<std::string> choices;  // kChoice only
   };
 
   const Flag* Find(const std::string& name) const;

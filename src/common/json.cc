@@ -1,0 +1,171 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace draconis::json {
+
+std::string Writer::FormatDouble(double value) {
+  DRACONIS_CHECK_MSG(std::isfinite(value), "JSON cannot represent NaN/Inf");
+  char buf[40];
+  // Shortest of the standard precisions that parses back exactly.
+  for (int precision : {9, 15, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
+  return buf;
+}
+
+void Writer::Indent() {
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void Writer::BeforeValue() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // "key": already emitted the separator
+  }
+  DRACONIS_CHECK_MSG(stack_.empty() ? out_.empty() : stack_.back() == Frame::kArray,
+                     "object members need a Key(), one root value only");
+  if (!stack_.empty()) {
+    if (counts_.back() > 0) {
+      out_ += ',';
+    }
+    out_ += '\n';
+    Indent();
+    ++counts_.back();
+  }
+}
+
+Writer& Writer::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  counts_.push_back(0);
+  return *this;
+}
+
+Writer& Writer::EndObject() {
+  DRACONIS_CHECK(!stack_.empty() && stack_.back() == Frame::kObject && !key_pending_);
+  const bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += '}';
+  return *this;
+}
+
+Writer& Writer::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  counts_.push_back(0);
+  return *this;
+}
+
+Writer& Writer::EndArray() {
+  DRACONIS_CHECK(!stack_.empty() && stack_.back() == Frame::kArray && !key_pending_);
+  const bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += ']';
+  return *this;
+}
+
+Writer& Writer::Key(const std::string& name) {
+  DRACONIS_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject && !key_pending_,
+                     "Key() is only valid directly inside an object");
+  if (counts_.back() > 0) {
+    out_ += ',';
+  }
+  out_ += '\n';
+  Indent();
+  ++counts_.back();
+  out_ += '"';
+  AppendEscaped(name);
+  out_ += "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+void Writer::AppendEscaped(const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+}
+
+Writer& Writer::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  AppendEscaped(value);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+Writer& Writer::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+Writer& Writer::Double(double value) {
+  BeforeValue();
+  out_ += FormatDouble(value);
+  return *this;
+}
+
+Writer& Writer::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace draconis::json

@@ -1,0 +1,58 @@
+// Minimal streaming JSON writer for bench/report output.
+//
+// Builds a pretty-printed (2-space indent) UTF-8 document in memory with
+// deterministic number formatting, so emitted files are stable across runs
+// and diffable in golden tests. No parsing, no DOM — the output layers only
+// ever serialize.
+
+#ifndef DRACONIS_COMMON_JSON_H_
+#define DRACONIS_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace draconis::json {
+
+class Writer {
+ public:
+  // Containers. The first call must open the root object or array.
+  Writer& BeginObject();
+  Writer& EndObject();
+  Writer& BeginArray();
+  Writer& EndArray();
+
+  // Object member key; must be followed by exactly one value or container.
+  Writer& Key(const std::string& name);
+
+  // Values.
+  Writer& String(const std::string& value);
+  Writer& Int(int64_t value);
+  Writer& UInt(uint64_t value);
+  Writer& Double(double value);
+  Writer& Bool(bool value);
+  Writer& Null();
+
+  // The finished document; valid once every container is closed.
+  const std::string& str() const { return out_; }
+  bool done() const { return !out_.empty() && stack_.empty(); }
+
+  // Shortest decimal representation that round-trips to `value`.
+  static std::string FormatDouble(double value);
+
+ private:
+  enum class Frame : uint8_t { kObject, kArray };
+
+  void BeforeValue();  // comma / newline / indent bookkeeping
+  void Indent();
+  void AppendEscaped(const std::string& s);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<uint64_t> counts_;  // values emitted per open container
+  bool key_pending_ = false;
+};
+
+}  // namespace draconis::json
+
+#endif  // DRACONIS_COMMON_JSON_H_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace draconis {
 
@@ -19,6 +21,36 @@ std::string FormatDuration(TimeNs t) {
     std::snprintf(buf, sizeof(buf), "%s%.3fs", negative ? "-" : "", abs_ns / kSecond);
   }
   return buf;
+}
+
+bool ParseDuration(const std::string& text, TimeNs* out) {
+  if (out == nullptr || text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || !std::isfinite(value) || value < 0.0) {
+    return false;
+  }
+  double scale = 0.0;
+  if (*end == '\0') {
+    if (value != 0.0) {
+      return false;  // a bare number is ambiguous; only "0" needs no unit
+    }
+    scale = 1.0;
+  } else if (std::strcmp(end, "ns") == 0) {
+    scale = 1.0;
+  } else if (std::strcmp(end, "us") == 0) {
+    scale = static_cast<double>(kMicrosecond);
+  } else if (std::strcmp(end, "ms") == 0) {
+    scale = static_cast<double>(kMillisecond);
+  } else if (std::strcmp(end, "s") == 0) {
+    scale = static_cast<double>(kSecond);
+  } else {
+    return false;
+  }
+  *out = static_cast<TimeNs>(value * scale);
+  return true;
 }
 
 }  // namespace draconis

@@ -32,6 +32,11 @@ constexpr TimeNs FromSeconds(double s) { return static_cast<TimeNs>(s * kSecond)
 // Renders a duration with an adaptive unit, e.g. "4.7us", "1.35ms", "2.1s".
 std::string FormatDuration(TimeNs t);
 
+// Parses a duration with an explicit unit suffix — "500us", "40ms", "1.5s",
+// "250ns" — into nanoseconds. "0" is accepted without a unit. Returns false
+// (leaving *out untouched) on malformed or negative input.
+bool ParseDuration(const std::string& text, TimeNs* out);
+
 }  // namespace draconis
 
 #endif  // DRACONIS_COMMON_TIME_H_

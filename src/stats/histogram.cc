@@ -124,6 +124,28 @@ std::string Histogram::Summary() const {
   return os.str();
 }
 
+void Histogram::WriteJson(json::Writer& writer) const {
+  writer.BeginObject();
+  writer.Key("count").UInt(count_);
+  if (count_ > 0) {
+    writer.Key("mean_ns").Double(Mean());
+    writer.Key("min_ns").Int(min());
+    writer.Key("max_ns").Int(max_);
+    writer.Key("p50_ns").Int(Percentile(0.50));
+    writer.Key("p90_ns").Int(Percentile(0.90));
+    writer.Key("p95_ns").Int(Percentile(0.95));
+    writer.Key("p99_ns").Int(Percentile(0.99));
+    writer.Key("p999_ns").Int(Percentile(0.999));
+  }
+  writer.EndObject();
+}
+
+std::string Histogram::ToJson() const {
+  json::Writer writer;
+  WriteJson(writer);
+  return writer.str();
+}
+
 void Histogram::Reset() {
   buckets_.clear();
   count_ = 0;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/time.h"
 
 namespace draconis::stats {
@@ -49,6 +50,11 @@ class Histogram {
 
   // "n=..., mean=..., p50=..., p99=..., max=..." one-line summary.
   std::string Summary() const;
+
+  // Structured summary — count, mean, min/max and the standard quantiles —
+  // written as one JSON object (the sweep report layer's histogram schema).
+  void WriteJson(json::Writer& writer) const;
+  std::string ToJson() const;
 
   void Reset();
 

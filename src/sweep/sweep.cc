@@ -1,0 +1,98 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace draconis::sweep {
+
+size_t EffectiveParallelism(size_t requested, size_t num_points) {
+  size_t parallelism = requested;
+  if (parallelism == 0) {
+    parallelism = std::thread::hardware_concurrency();
+  }
+  parallelism = std::max<size_t>(1, parallelism);
+  if (num_points > 0) {
+    parallelism = std::min(parallelism, num_points);
+  }
+  return parallelism;
+}
+
+std::vector<SweepPointResult> RunSweep(const SweepSpec& spec, const SweepOptions& options) {
+  const size_t total = spec.points.size();
+  std::vector<SweepPointResult> results(total);
+  if (total == 0) {
+    return results;
+  }
+
+  const auto run_point = [&spec](const cluster::ExperimentConfig& config) {
+    return spec.run ? spec.run(config) : cluster::RunExperiment(config);
+  };
+
+  // Work distribution: an atomic cursor hands out point indices; each worker
+  // writes only its own results[i] slot, so the result vector needs no lock.
+  // Progress and error collection do.
+  std::atomic<size_t> cursor{0};
+  std::mutex mu;
+  size_t completed = 0;
+  size_t first_error_index = total;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    while (true) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) {
+        return;
+      }
+      const SweepPoint& point = spec.points[i];
+      SweepPointResult& out = results[i];
+      out.index = i;
+      out.label = point.label;
+      out.series = point.series;
+      out.x = point.x;
+      try {
+        out.result = run_point(point.config);
+      } catch (...) {
+        // Stop handing out new points; in-flight ones run to completion.
+        cursor.store(total, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      ++completed;
+      if (options.on_progress) {
+        options.on_progress(completed, total, out);
+      }
+    }
+  };
+
+  const size_t parallelism = EffectiveParallelism(options.parallelism, total);
+  if (parallelism == 1) {
+    worker();  // inline: byte-for-byte the plain serial loop
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(parallelism);
+    for (size_t t = 0; t < parallelism; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+  return results;
+}
+
+}  // namespace draconis::sweep

@@ -1,0 +1,88 @@
+// Declarative, parallel experiment sweeps.
+//
+// Every figure and table in the paper's evaluation is a sweep over
+// independent RunExperiment points. A SweepSpec names those points once —
+// label, series (the table row it belongs to), x (the axis value), and the
+// full ExperimentConfig — and RunSweep executes them across a thread pool.
+//
+// Determinism guarantee: each point owns its Simulator, Network, RNG streams
+// and MetricsHub, all seeded from its own config, and no simulator state is
+// shared between points — so a parallel run produces bit-identical per-point
+// metrics to `parallelism = 1` (enforced by tests/sweep_test.cc). Results
+// come back in point order regardless of completion order.
+
+#ifndef DRACONIS_SWEEP_SWEEP_H_
+#define DRACONIS_SWEEP_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.h"
+
+namespace draconis::sweep {
+
+// One experiment point on the sweep's axis.
+struct SweepPoint {
+  std::string label;   // unique within the sweep; used in progress lines + CSV names
+  std::string series;  // row grouping for reports ("Draconis", "R2P2-3", ...)
+  double x = 0.0;      // position on the sweep axis (load, utilization, ...)
+  cluster::ExperimentConfig config;
+};
+
+// Axis metadata, carried into the JSON report.
+struct SweepAxis {
+  std::string name;  // e.g. "offered load"
+  std::string unit;  // e.g. "ktasks/s"
+};
+
+struct SweepSpec {
+  std::string name;   // short id, e.g. "fig05a"; keys output file names
+  std::string title;  // human description for headers and reports
+  SweepAxis axis;
+  std::vector<SweepPoint> points;
+
+  // Per-point runner; defaults to cluster::RunExperiment. Benches that
+  // measure something other than a full experiment (or tests injecting
+  // failures) substitute their own. Must be callable concurrently.
+  std::function<cluster::ExperimentResult(const cluster::ExperimentConfig&)> run;
+};
+
+// A point's result: the experiment output plus the point identity it came
+// from, and a slot for bench-specific derived scalars that should land in
+// the JSON report.
+struct SweepPointResult {
+  size_t index = 0;
+  std::string label;
+  std::string series;
+  double x = 0.0;
+  cluster::ExperimentResult result;
+  std::map<std::string, double> scalars;  // serialized under "extra"
+};
+
+struct SweepOptions {
+  // Worker threads; 0 means std::thread::hardware_concurrency(). 1 runs
+  // every point inline on the calling thread.
+  size_t parallelism = 0;
+
+  // Called after each point completes (under an internal lock, so it may
+  // print without interleaving). `completed` counts finished points, which
+  // is not necessarily `done.index + 1` when running in parallel.
+  std::function<void(size_t completed, size_t total, const SweepPointResult& done)>
+      on_progress;
+};
+
+// Executes every point and returns results in point order. If a point
+// throws, no further points are started, in-flight points finish, and the
+// earliest-indexed exception is rethrown.
+std::vector<SweepPointResult> RunSweep(const SweepSpec& spec,
+                                       const SweepOptions& options = {});
+
+// Resolved thread count for an options value (0 -> hardware_concurrency).
+size_t EffectiveParallelism(size_t requested, size_t num_points);
+
+}  // namespace draconis::sweep
+
+#endif  // DRACONIS_SWEEP_SWEEP_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/time.h"
 
@@ -188,6 +189,80 @@ TEST(RngTest, ForkProducesIndependentStream) {
   Rng a(99);
   Rng b = a.Fork();
   EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(ParseDurationTest, AcceptsEveryUnit) {
+  TimeNs out = 0;
+  ASSERT_TRUE(ParseDuration("250ns", &out));
+  EXPECT_EQ(out, 250);
+  ASSERT_TRUE(ParseDuration("500us", &out));
+  EXPECT_EQ(out, FromMicros(500));
+  ASSERT_TRUE(ParseDuration("40ms", &out));
+  EXPECT_EQ(out, FromMillis(40));
+  ASSERT_TRUE(ParseDuration("2s", &out));
+  EXPECT_EQ(out, FromSeconds(2));
+}
+
+TEST(ParseDurationTest, AcceptsFractionsAndBareZero) {
+  TimeNs out = 0;
+  ASSERT_TRUE(ParseDuration("1.5s", &out));
+  EXPECT_EQ(out, FromMillis(1500));
+  ASSERT_TRUE(ParseDuration("0.25ms", &out));
+  EXPECT_EQ(out, FromMicros(250));
+  ASSERT_TRUE(ParseDuration("0", &out));
+  EXPECT_EQ(out, 0);
+}
+
+TEST(ParseDurationTest, RejectsMalformedInput) {
+  TimeNs out = 0;
+  EXPECT_FALSE(ParseDuration("", &out));
+  EXPECT_FALSE(ParseDuration("40", &out));       // unit required
+  EXPECT_FALSE(ParseDuration("40min", &out));    // unknown unit
+  EXPECT_FALSE(ParseDuration("ms", &out));       // no number
+  EXPECT_FALSE(ParseDuration("40ms extra", &out));
+  EXPECT_FALSE(ParseDuration("-5ms", &out));     // durations are non-negative
+}
+
+TEST(ParseDurationTest, RoundTripsFormatDuration) {
+  for (TimeNs value : {TimeNs{250}, FromMicros(500), FromMillis(40), FromSeconds(3)}) {
+    TimeNs out = 0;
+    ASSERT_TRUE(ParseDuration(FormatDuration(value), &out)) << FormatDuration(value);
+    EXPECT_EQ(out, value);
+  }
+}
+
+TEST(JsonWriterTest, NestedDocument) {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("name").String("fig05a");
+  w.Key("n").Int(-3);
+  w.Key("u").UInt(7);
+  w.Key("ok").Bool(true);
+  w.Key("nothing").Null();
+  w.Key("xs").BeginArray();
+  w.Double(0.5);
+  w.Double(1000);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\n  \"name\": \"fig05a\",\n  \"n\": -3,\n  \"u\": 7,\n  \"ok\": true,\n"
+            "  \"nothing\": null,\n  \"xs\": [\n    0.5,\n    1000\n  ]\n}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("s").String("a\"b\\c\nd\te");
+  w.EndObject();
+  EXPECT_NE(w.str().find(R"(a\"b\\c\nd\te)"), std::string::npos);
+}
+
+TEST(JsonWriterTest, DoubleFormattingRoundTrips) {
+  // Shortest representation that parses back to the same bits.
+  EXPECT_EQ(json::Writer::FormatDouble(0.1), "0.1");
+  EXPECT_EQ(json::Writer::FormatDouble(1.0 / 3.0), "0.33333333333333331");
+  EXPECT_EQ(json::Writer::FormatDouble(1e21), "1e+21");
+  EXPECT_EQ(json::Writer::FormatDouble(42.0), "42");
 }
 
 }  // namespace

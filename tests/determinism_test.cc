@@ -49,8 +49,8 @@ TEST(DeterminismTest, IdenticalConfigsProduceIdenticalResults) {
         << "q=" << q;
   }
   EXPECT_EQ(a.switch_counters.passes, b.switch_counters.passes);
-  EXPECT_EQ(a.draconis.tasks_assigned, b.draconis.tasks_assigned);
-  EXPECT_EQ(a.draconis.noops_sent, b.draconis.noops_sent);
+  EXPECT_EQ(a.counters.tasks_assigned, b.counters.tasks_assigned);
+  EXPECT_EQ(a.counters.noops_sent, b.counters.noops_sent);
 }
 
 TEST(DeterminismTest, DifferentSeedsDifferButAgreeStatistically) {
@@ -150,8 +150,8 @@ TEST(DeterminismTest, Fig05aShapedRunIsBitIdentical) {
         << "q=" << q;
   }
   EXPECT_EQ(a.switch_counters.passes, b.switch_counters.passes);
-  EXPECT_EQ(a.draconis.tasks_assigned, b.draconis.tasks_assigned);
-  EXPECT_EQ(a.draconis.noops_sent, b.draconis.noops_sent);
+  EXPECT_EQ(a.counters.tasks_assigned, b.counters.tasks_assigned);
+  EXPECT_EQ(a.counters.noops_sent, b.counters.noops_sent);
 }
 
 // Builds a randomized self-extending event graph on `sim`: chains that

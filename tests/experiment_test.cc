@@ -72,11 +72,11 @@ TEST(ExperimentTest, TextbookDequeueModeIsWiredThrough) {
   ExperimentResult result = RunExperiment(config);
   // The textbook dequeue repairs the retrieve pointer after empty-queue
   // dips; at 50% load there are plenty.
-  EXPECT_GT(result.draconis.retrieve_repairs, 0u);
+  EXPECT_GT(result.counters.retrieve_repairs, 0u);
 
   config.shadow_copy_dequeue = true;
   ExperimentResult shadow = RunExperiment(config);
-  EXPECT_EQ(shadow.draconis.retrieve_repairs, 0u);
+  EXPECT_EQ(shadow.counters.retrieve_repairs, 0u);
 }
 
 TEST(ExperimentTest, RackSchedIntraPolicyIsWiredThrough) {
@@ -117,7 +117,7 @@ TEST(ExperimentTest, SparrowMultiSchedulerDeploysDistinctServers) {
   config.scheduler = SchedulerKind::kSparrow;
   config.num_schedulers = 2;
   ExperimentResult result = RunExperiment(config);
-  EXPECT_GT(result.sparrow.tasks_launched, 0u);
+  EXPECT_GT(result.counters.tasks_launched, 0u);
   EXPECT_GE(result.metrics->tasks_completed(), result.metrics->tasks_submitted() * 97 / 100);
 }
 
@@ -132,6 +132,45 @@ TEST(ExperimentTest, SeedChangesWorkloadButNotShape) {
   EXPECT_GT(rb.metrics->tasks_completed(), 0u);
   // Network jitter differs by seed, so pass counts differ.
   EXPECT_NE(ra.switch_counters.emitted, rb.switch_counters.emitted);
+}
+
+TEST(ExperimentTest, SchedulerKindNamesRoundTrip) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kDraconis, SchedulerKind::kDraconisDpdkServer,
+        SchedulerKind::kDraconisSocketServer, SchedulerKind::kR2P2, SchedulerKind::kRackSched,
+        SchedulerKind::kSparrow}) {
+    SchedulerKind parsed;
+    ASSERT_TRUE(SchedulerKindFromName(SchedulerKindName(kind), &parsed))
+        << SchedulerKindName(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+}
+
+TEST(ExperimentTest, SchedulerKindFromNameIsCaseInsensitiveWithShortSpellings) {
+  SchedulerKind parsed;
+  ASSERT_TRUE(SchedulerKindFromName("draconis", &parsed));
+  EXPECT_EQ(parsed, SchedulerKind::kDraconis);
+  ASSERT_TRUE(SchedulerKindFromName("RACKSCHED", &parsed));
+  EXPECT_EQ(parsed, SchedulerKind::kRackSched);
+  ASSERT_TRUE(SchedulerKindFromName("dpdk-server", &parsed));
+  EXPECT_EQ(parsed, SchedulerKind::kDraconisDpdkServer);
+  ASSERT_TRUE(SchedulerKindFromName("socket-server", &parsed));
+  EXPECT_EQ(parsed, SchedulerKind::kDraconisSocketServer);
+  EXPECT_FALSE(SchedulerKindFromName("mesos", &parsed));
+  EXPECT_FALSE(SchedulerKindFromName("", &parsed));
+}
+
+TEST(ExperimentTest, PolicyKindNamesRoundTrip) {
+  for (PolicyKind kind : {PolicyKind::kFcfs, PolicyKind::kPriority, PolicyKind::kResource,
+                          PolicyKind::kLocality}) {
+    PolicyKind parsed;
+    ASSERT_TRUE(PolicyKindFromName(PolicyKindName(kind), &parsed)) << PolicyKindName(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  PolicyKind parsed;
+  ASSERT_TRUE(PolicyKindFromName("FCFS", &parsed));
+  EXPECT_EQ(parsed, PolicyKind::kFcfs);
+  EXPECT_FALSE(PolicyKindFromName("round-robin", &parsed));
 }
 
 }  // namespace

@@ -225,5 +225,26 @@ TEST(TimeSeriesTest, WeightsAccumulate) {
   EXPECT_DOUBLE_EQ(ts.BucketSum(0), 3.0);
 }
 
+TEST(HistogramTest, ToJsonCarriesTheDigest) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(FromMicros(i));
+  }
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  for (const char* key :
+       {"mean_ns", "min_ns", "max_ns", "p50_ns", "p90_ns", "p95_ns", "p99_ns", "p999_ns"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"min_ns\": 1000"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyToJsonOmitsPercentiles) {
+  Histogram h;
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+  EXPECT_EQ(json.find("p99_ns"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace draconis::stats

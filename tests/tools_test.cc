@@ -109,6 +109,65 @@ TEST(FlagsTest, HelpShortCircuits) {
   EXPECT_NE(f.parser.Usage().find("--workers"), std::string::npos);
 }
 
+struct SweepFlagsFixture {
+  TimeNs horizon = FromMillis(40);
+  std::string scheduler = "all";
+  flags::Parser parser{"sweep flags"};
+
+  SweepFlagsFixture() {
+    parser.AddDuration("horizon", &horizon, "measurement horizon");
+    parser.AddChoice("scheduler", &scheduler, {"all", "draconis", "r2p2"}, "system filter");
+  }
+
+  bool Parse(std::vector<const char*> args, std::string* error) {
+    args.insert(args.begin(), "prog");
+    return parser.Parse(static_cast<int>(args.size()), args.data(), error);
+  }
+};
+
+TEST(FlagsTest, DurationAcceptsUnitSuffixes) {
+  SweepFlagsFixture f;
+  std::string error;
+  ASSERT_TRUE(f.Parse({"--horizon=500us"}, &error)) << error;
+  EXPECT_EQ(f.horizon, FromMicros(500));
+  ASSERT_TRUE(f.Parse({"--horizon", "40ms"}, &error)) << error;
+  EXPECT_EQ(f.horizon, FromMillis(40));
+  ASSERT_TRUE(f.Parse({"--horizon=1.5s"}, &error)) << error;
+  EXPECT_EQ(f.horizon, FromMillis(1500));
+}
+
+TEST(FlagsTest, DurationRejectsMissingOrUnknownUnit) {
+  SweepFlagsFixture f;
+  std::string error;
+  EXPECT_FALSE(f.Parse({"--horizon=40"}, &error));
+  EXPECT_FALSE(f.Parse({"--horizon=40min"}, &error));
+  EXPECT_FALSE(f.Parse({"--horizon=fast"}, &error));
+}
+
+TEST(FlagsTest, DurationDefaultAppearsInUsage) {
+  SweepFlagsFixture f;
+  EXPECT_NE(f.parser.Usage().find("40.00ms"), std::string::npos);
+}
+
+TEST(FlagsTest, ChoiceAcceptsListedValue) {
+  SweepFlagsFixture f;
+  std::string error;
+  ASSERT_TRUE(f.Parse({"--scheduler=r2p2"}, &error)) << error;
+  EXPECT_EQ(f.scheduler, "r2p2");
+}
+
+TEST(FlagsTest, ChoiceRejectsUnlistedValue) {
+  SweepFlagsFixture f;
+  std::string error;
+  EXPECT_FALSE(f.Parse({"--scheduler=sparrow"}, &error));
+  EXPECT_NE(error.find("bad value"), std::string::npos);
+}
+
+TEST(FlagsTest, ChoiceAlternativesListedInUsage) {
+  SweepFlagsFixture f;
+  EXPECT_NE(f.parser.Usage().find("[all|draconis|r2p2]"), std::string::npos);
+}
+
 // --- tracer ------------------------------------------------------------------
 
 TEST(TracingTest, RecordsPassesThroughToInnerProgram) {
