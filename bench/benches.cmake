@@ -8,6 +8,7 @@ set(DRACONIS_BENCH_LIBS
   draconis_core
   draconis_workload
   draconis_p4
+  draconis_trace
   draconis_net
   draconis_metrics
   draconis_stats
@@ -42,3 +43,6 @@ target_link_libraries(micro_core PRIVATE benchmark::benchmark)
 
 # Event-core wall-clock bench; emits BENCH_sim_core.json (see EXPERIMENTS.md).
 draconis_add_bench(micro_sim)
+
+# Tracing-overhead bench; emits BENCH_trace.json (see docs/observability.md).
+draconis_add_bench(micro_trace)

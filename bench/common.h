@@ -23,6 +23,7 @@
 #include "common/flags.h"
 #include "sweep/report.h"
 #include "sweep/sweep.h"
+#include "trace/export.h"
 #include "workload/generators.h"
 #include "workload/google_trace.h"
 
@@ -156,6 +157,12 @@ class SweepRunner {
     if (default_horizon != kNoHorizonFlag) {
       parser_.AddDuration("horizon", &horizon_, "measurement horizon per experiment point");
     }
+    parser_.AddBool("trace", &trace_,
+                    "record sampled task-lifecycle traces per point (docs/observability.md)");
+    parser_.AddInt64("trace-sample", &trace_sample_,
+                     "trace 1-in-N tasks by deterministic id hash (1 = every task)");
+    parser_.AddString("trace-dir", &trace_dir_,
+                      "directory for <bench>_<point>_{trace,attribution}.json outputs");
   }
 
   flags::Parser& parser() { return parser_; }
@@ -180,6 +187,20 @@ class SweepRunner {
       const sweep::SweepSpec& spec,
       const std::function<void(std::vector<sweep::SweepPointResult>&)>& annotate = nullptr) {
     PrintHeader(figure_.c_str(), description_.c_str());
+    // --trace: run the same points with the recorder enabled. Sampling is a
+    // pure hash of each task id, so traced results are bit-identical to
+    // untraced ones (tests/determinism_test.cc).
+    const sweep::SweepSpec* active = &spec;
+    sweep::SweepSpec traced;
+    if (trace_) {
+      traced = spec;
+      for (sweep::SweepPoint& point : traced.points) {
+        point.config.trace.enabled = true;
+        point.config.trace.sample_period =
+            trace_sample_ <= 0 ? 1 : static_cast<uint64_t>(trace_sample_);
+      }
+      active = &traced;
+    }
     sweep::SweepOptions options;
     options.parallelism = parallelism_ < 0 ? 1 : static_cast<size_t>(parallelism_);
     if (progress_) {
@@ -188,9 +209,25 @@ class SweepRunner {
         std::fprintf(stderr, "[%zu/%zu] %s\n", completed, total, done.label.c_str());
       };
     }
-    std::vector<sweep::SweepPointResult> results = sweep::RunSweep(spec, options);
+    std::vector<sweep::SweepPointResult> results = sweep::RunSweep(*active, options);
     if (annotate) {
       annotate(results);
+    }
+    if (trace_) {
+      for (const sweep::SweepPointResult& r : results) {
+        if (r.result.trace == nullptr) {
+          continue;
+        }
+        const std::string dir = trace_dir_.empty() ? std::string(".") : trace_dir_;
+        const std::string base =
+            dir + "/" + spec.name + "_" + trace::SanitizeForFilename(r.label);
+        const std::string tag = spec.name + "/" + r.label;
+        trace::WriteChromeTraceFile(base + "_trace.json", *r.result.trace, tag);
+        const trace::AttributionReport attribution = trace::BuildAttribution(*r.result.trace);
+        trace::WriteAttributionFile(base + "_attribution.json", attribution, *r.result.trace,
+                                    tag);
+        std::fprintf(stderr, "trace: %s_{trace,attribution}.json\n", base.c_str());
+      }
     }
     sweep::ReportOptions report;
     report.parallelism = sweep::EffectiveParallelism(options.parallelism, spec.points.size());
@@ -212,6 +249,9 @@ class SweepRunner {
   std::string json_path_;
   std::string csv_dir_;
   bool progress_ = true;
+  bool trace_ = false;
+  int64_t trace_sample_ = 64;
+  std::string trace_dir_ = ".";
   TimeNs horizon_ = RunHorizon();
 };
 

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate and summarize Draconis task-lifecycle trace outputs.
+
+Accepts any mix of the two JSON artifacts a `--trace` bench run emits
+(docs/observability.md):
+
+  *_trace.json        Chrome trace-event format (Perfetto-loadable)
+  *_attribution.json  per-stage latency attribution report
+
+For trace files it checks that event timestamps are monotonic, that every
+"B" has a matching "E" on the same (pid, tid, name) track, and that every
+sampled task reaches a terminal state (complete / censored / net_drop /
+program_drop / recirc_drop). For attribution files it checks the telescoping
+invariant — the five stage durations sum exactly (integer ns) to each task's
+end-to-end total — and the sampled == completed + censored accounting, then
+prints the per-stage table and the top-K slowest tasks.
+
+Exits non-zero on any violation.
+
+Usage: scripts/trace_stats.py FILE [FILE ...]
+"""
+
+import json
+import sys
+
+TERMINAL_EVENTS = {"complete", "censored", "net_drop", "program_drop", "recirc_drop"}
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check_chrome_trace(path, doc):
+    errors = 0
+    events = doc.get("traceEvents", [])
+    # Task pids, from process_name metadata ("task u:j:t").
+    task_pids = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            name = ev.get("args", {}).get("name", "")
+            if name.startswith("task "):
+                task_pids[ev["pid"]] = name
+
+    last_ts = None
+    open_spans = {}  # (pid, tid, name) -> [begin ts, ...]
+    terminal_pids = set()
+    counts = {"B": 0, "E": 0, "i": 0}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if ts is None:
+            errors += fail(path, f"event without ts: {ev}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors += fail(path, f"non-monotonic ts: {ts} after {last_ts}")
+        last_ts = ts
+        counts[ph] = counts.get(ph, 0) + 1
+        key = (ev.get("pid"), ev.get("tid"), ev.get("name"))
+        if ph == "B":
+            open_spans.setdefault(key, []).append(ts)
+        elif ph == "E":
+            stack = open_spans.get(key)
+            if not stack:
+                errors += fail(path, f"E without matching B on {key} at ts={ts}")
+            else:
+                begin = stack.pop()
+                if ts < begin:
+                    errors += fail(path, f"span on {key} ends ({ts}) before it begins ({begin})")
+        if ev.get("name") in TERMINAL_EVENTS:
+            terminal_pids.add(ev.get("pid"))
+
+    for key, stack in open_spans.items():
+        if stack:
+            errors += fail(path, f"{len(stack)} unclosed span(s) on {key}")
+    for pid, name in sorted(task_pids.items()):
+        if pid not in terminal_pids:
+            errors += fail(path, f"{name} (pid {pid}) never reaches a terminal state")
+
+    if errors == 0:
+        print(
+            f"OK   {path}: {len(task_pids)} tasks, "
+            f"{counts['B']} spans ({counts['i']} instants), "
+            f"sample 1/{doc.get('samplePeriod', '?')}, "
+            f"{doc.get('droppedRecords', 0)} dropped records"
+        )
+    return errors
+
+
+STAGES = ["client", "wire", "scheduling", "queue", "executor"]
+
+
+def check_attribution(path, doc, top_k=10):
+    errors = 0
+    sampled = doc.get("sampled_tasks", 0)
+    completed = doc.get("completed_tasks", 0)
+    censored = doc.get("censored_tasks", 0)
+    partial = doc.get("partial_timelines", 0)
+    tasks = doc.get("tasks", [])
+
+    if sampled != completed + censored:
+        errors += fail(
+            path, f"sampled ({sampled}) != completed ({completed}) + censored ({censored})"
+        )
+    if len(tasks) != completed - partial:
+        errors += fail(
+            path,
+            f"attributed tasks ({len(tasks)}) != completed ({completed}) - partial ({partial})",
+        )
+    for task in tasks:
+        total = sum(task[f"{stage}_ns"] for stage in STAGES)
+        if total != task["total_ns"]:
+            errors += fail(
+                path,
+                f"task {task['uid']}:{task['jid']}:{task['tid']} stages sum to "
+                f"{total} ns but total_ns is {task['total_ns']}",
+            )
+        if any(task[f"{stage}_ns"] < 0 for stage in STAGES):
+            errors += fail(
+                path, f"task {task['uid']}:{task['jid']}:{task['tid']} has a negative stage"
+            )
+
+    if errors:
+        return errors
+
+    print(f"OK   {path}: {sampled} sampled = {completed} completed + {censored} censored"
+          f" ({partial} partial timelines, sample 1/{doc.get('sample_period', '?')})")
+    stages = doc.get("stages", {})
+    print(f"     {'stage':<12} {'count':>8} {'mean us':>10} {'p50 us':>10} "
+          f"{'p99 us':>10} {'max us':>10}")
+    for stage in STAGES + ["total"]:
+        h = stages.get(stage, {})
+        if not h or h.get("count", 0) == 0:
+            continue
+        print(
+            f"     {stage:<12} {h['count']:>8} {h.get('mean_ns', 0) / 1e3:>10.2f} "
+            f"{h.get('p50_ns', 0) / 1e3:>10.2f} {h.get('p99_ns', 0) / 1e3:>10.2f} "
+            f"{h.get('max_ns', 0) / 1e3:>10.2f}"
+        )
+    slowest = doc.get("top_slowest", [])[:top_k]
+    if slowest:
+        print(f"     top {len(slowest)} slowest:")
+        for task in slowest:
+            breakdown = " ".join(f"{s}={task[f'{s}_ns'] / 1e3:.2f}us" for s in STAGES)
+            print(
+                f"       {task['uid']}:{task['jid']}:{task['tid']} "
+                f"total={task['total_ns'] / 1e3:.2f}us attempt={task['attempt']} {breakdown}"
+            )
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    errors = 0
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors += fail(path, str(e))
+            continue
+        if "traceEvents" in doc:
+            errors += check_chrome_trace(path, doc)
+        elif doc.get("kind") == "trace_attribution":
+            errors += check_attribution(path, doc)
+        else:
+            errors += fail(path, "not a trace or attribution file")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,6 +18,7 @@
 #include "net/network.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "trace/recorder.h"
 
 namespace draconis::baselines {
 
@@ -59,6 +60,9 @@ class CentralServerScheduler : public net::Endpoint {
   const CentralServerCounters& counters() const { return counters_; }
   size_t queue_depth() const { return queue_.size(); }
 
+  // Optional task-lifecycle recorder (nullable; never affects behaviour).
+  void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
   // net::Endpoint:
   void HandlePacket(net::Packet pkt) override;
 
@@ -75,6 +79,7 @@ class CentralServerScheduler : public net::Endpoint {
 
   sim::Simulator* simulator_;
   net::Network* network_;
+  trace::Recorder* recorder_ = nullptr;
   CentralServerConfig config_;
   net::NodeId node_id_;
   std::deque<QueuedTask> queue_;

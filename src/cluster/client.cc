@@ -9,7 +9,11 @@ namespace draconis::cluster {
 
 Client::Client(sim::Simulator* simulator, net::Network* network, MetricsHub* metrics,
                const ClientConfig& config)
-    : simulator_(simulator), network_(network), metrics_(metrics), config_(config) {
+    : simulator_(simulator),
+      network_(network),
+      metrics_(metrics),
+      recorder_(config.recorder),
+      config_(config) {
   DRACONIS_CHECK(simulator != nullptr && network != nullptr && metrics != nullptr);
   if (config_.max_tasks_per_packet == 0) {
     config_.max_tasks_per_packet = net::MaxTasksPerPacket();
@@ -42,6 +46,9 @@ uint32_t Client::SubmitJob(const std::vector<TaskSpec>& specs) {
     task.meta.first_submit_time = now;
     task.meta.submit_time = now;
     metrics_->RecordSubmission(now);
+    if (recorder_ != nullptr && recorder_->Sampled(task.id)) {
+      recorder_->Record(task.id, trace::Kind::kSubmit, now, now, specs.size(), node_id_);
+    }
     if (!config_.fire_and_forget) {
       ArmTimeout(task);
     }
@@ -64,6 +71,15 @@ void Client::SendTasks(std::vector<net::TaskInfo> tasks) {
     pkt.jid = tasks[offset].id.jid;
     pkt.tasks.assign(std::make_move_iterator(tasks.begin() + offset),
                      std::make_move_iterator(tasks.begin() + offset + n));
+    if (recorder_ != nullptr) {
+      for (const net::TaskInfo& t : pkt.tasks) {
+        if (recorder_->Sampled(t.id)) {
+          recorder_->Record(t.id, trace::Kind::kClientSend, simulator_->Now(),
+                            simulator_->Now(), pkt.tasks.size(), scheduler_,
+                            t.meta.attempt, 0);
+        }
+      }
+    }
     network_->Send(node_id_, std::move(pkt));
     offset += n;
   }
@@ -85,6 +101,11 @@ void Client::HandlePacket(net::Packet pkt) {
         metrics_->RecordQueueFullRetry();
         task.meta.submit_time = simulator_->Now() + config_.queue_full_retry_wait;
         task.meta.attempt += 1;
+        if (recorder_ != nullptr && recorder_->Sampled(task.id)) {
+          recorder_->Record(task.id, trace::Kind::kQueueFullRetry, simulator_->Now(),
+                            simulator_->Now(), config_.queue_full_retry_wait, node_id_,
+                            task.meta.attempt, 0);
+        }
         retry.push_back(task);
       }
       if (!retry.empty()) {
@@ -113,11 +134,22 @@ void Client::HandlePacket(net::Packet pkt) {
       const net::TaskInfo& task = pkt.tasks[0];
       auto it = outstanding_.find(task.id);
       if (it == outstanding_.end()) {
-        return;  // duplicate completion after a timeout resubmission
+        // Duplicate completion after a timeout resubmission. (Fire-and-forget
+        // clients track nothing, so every notice would land here — skip.)
+        if (!config_.fire_and_forget && recorder_ != nullptr &&
+            recorder_->Sampled(task.id)) {
+          recorder_->Record(task.id, trace::Kind::kDuplicateComplete, simulator_->Now(),
+                            simulator_->Now(), 0, node_id_, task.meta.attempt, 0);
+        }
+        return;
       }
       it->second.timeout.Cancel();
       metrics_->RecordEndToEnd(task, simulator_->Now());
       ++completions_;
+      if (recorder_ != nullptr && recorder_->Sampled(task.id)) {
+        recorder_->Record(task.id, trace::Kind::kComplete, simulator_->Now(),
+                          simulator_->Now(), 0, node_id_, task.meta.attempt, 0);
+      }
       outstanding_.erase(it);
       return;
     }
@@ -156,6 +188,10 @@ void Client::OnTimeout(net::TaskId id) {
   net::TaskInfo task = it->second.task;
   task.meta.submit_time = simulator_->Now();
   task.meta.attempt += 1;
+  if (recorder_ != nullptr && recorder_->Sampled(task.id)) {
+    recorder_->Record(task.id, trace::Kind::kTimeoutResubmit, simulator_->Now(),
+                      simulator_->Now(), 0, node_id_, task.meta.attempt, 0);
+  }
   it->second.task = task;
   it->second.timeout = simulator_->CancellableAfter(
       TimeoutFor(task), [this, id] { OnTimeout(id); });

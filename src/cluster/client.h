@@ -17,6 +17,7 @@
 #include "net/network.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "trace/recorder.h"
 #include "workload/spec.h"
 
 namespace draconis::cluster {
@@ -33,6 +34,8 @@ struct ClientConfig {
   // tracking, no timeouts, errors ignored.
   bool fire_and_forget = false;
   net::HostProfile host_profile = net::HostProfile::Dpdk(TimeNs{150});
+  // Optional task-lifecycle recorder (nullable; never affects behaviour).
+  trace::Recorder* recorder = nullptr;
 };
 
 class Client : public net::Endpoint {
@@ -70,6 +73,7 @@ class Client : public net::Endpoint {
   sim::Simulator* simulator_;
   net::Network* network_;
   MetricsHub* metrics_;
+  trace::Recorder* recorder_ = nullptr;
   ClientConfig config_;
   net::NodeId node_id_;
   net::NodeId scheduler_ = net::kInvalidNode;

@@ -13,6 +13,7 @@ Executor::Executor(sim::Simulator* simulator, net::Network* network, MetricsHub*
     : simulator_(simulator),
       network_(network),
       metrics_(metrics),
+      recorder_(config.recorder),
       config_(config),
       rng_(config.worker_node * 1000003ULL + config.exec_props + 17),
       retry_interval_(config.initial_retry) {
@@ -29,6 +30,13 @@ Executor::Executor(sim::Simulator* simulator, net::Network* network, MetricsHub*
 void Executor::Start(net::NodeId scheduler, TimeNs at) {
   scheduler_ = scheduler;
   pull_timer_.ScheduleAt(at);
+}
+
+void Executor::Rehome(net::NodeId scheduler) {
+  if (recorder_ != nullptr && scheduler != scheduler_) {
+    recorder_->RecordGlobal(trace::Kind::kRehome, simulator_->Now(), scheduler, node_id_);
+  }
+  scheduler_ = scheduler;
 }
 
 void Executor::SendRequest() {
@@ -82,6 +90,13 @@ void Executor::RunTask(net::Packet assignment) {
   const bool in_window = now >= metrics_->measure_start() && now < metrics_->measure_end();
   // Duplicate executions (timeout resubmissions) run but are not measured.
   const bool first = metrics_->FirstExecution(task.id);
+
+  if (recorder_ != nullptr && recorder_->Sampled(task.id)) {
+    const uint64_t wait =
+        last_request_time_ >= 0 ? static_cast<uint64_t>(now - last_request_time_) : 0;
+    recorder_->Record(task.id, trace::Kind::kExecArrive, now, now, wait, node_id_,
+                      task.meta.attempt, first ? 0 : 1);
+  }
 
   if (first && in_window && last_request_time_ >= 0) {
     metrics_->RecordGetTask(task.tprops, now - last_request_time_);
@@ -152,6 +167,14 @@ void Executor::Execute(net::TaskInfo task, net::NodeId client, TimeNs access, bo
   const TimeNs exec_start = now + pickup;
   if (record) {
     metrics_->RecordExecutionStart(task, exec_start);
+  }
+
+  if (recorder_ != nullptr && recorder_->Sampled(task.id)) {
+    recorder_->Record(task.id, trace::Kind::kExecPickup, now, exec_start,
+                      static_cast<uint64_t>(access), node_id_, task.meta.attempt, 0);
+    recorder_->Record(task.id, trace::Kind::kExecService, exec_start, exec_start + service,
+                      static_cast<uint64_t>(task.meta.exec_duration), node_id_,
+                      task.meta.attempt, 0);
   }
 
   const TimeNs done = exec_start + service;

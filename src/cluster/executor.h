@@ -19,6 +19,7 @@
 #include "net/network.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "trace/recorder.h"
 
 namespace draconis::cluster {
 
@@ -53,6 +54,9 @@ struct ExecutorConfig {
   bool drop_tasks = false;
 
   net::HostProfile host_profile = net::HostProfile::Dpdk(TimeNs{150});
+
+  // Optional task-lifecycle recorder (nullable; never affects behaviour).
+  trace::Recorder* recorder = nullptr;
 };
 
 class Executor : public net::Endpoint {
@@ -68,7 +72,7 @@ class Executor : public net::Endpoint {
 
   // §3.3 failover: point future pulls at a replacement scheduler. The
   // request watchdog re-issues any pull lost to the failed switch.
-  void Rehome(net::NodeId scheduler) { scheduler_ = scheduler; }
+  void Rehome(net::NodeId scheduler);
 
   // net::Endpoint:
   void HandlePacket(net::Packet pkt) override;
@@ -86,6 +90,7 @@ class Executor : public net::Endpoint {
   sim::Simulator* simulator_;
   net::Network* network_;
   MetricsHub* metrics_;
+  trace::Recorder* recorder_ = nullptr;
   ExecutorConfig config_;
   net::NodeId node_id_;
   net::NodeId scheduler_ = net::kInvalidNode;

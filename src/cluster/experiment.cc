@@ -161,6 +161,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   net_config.seed = config.seed * 7919 + 1;
   net::Network network(&simulator, net_config);
 
+  // Task-lifecycle tracing: one recorder threaded through every layer.
+  // Sampling is deterministic in the task id, so this cannot change results.
+  std::unique_ptr<trace::Recorder> recorder;
+  if (config.trace.enabled) {
+    recorder = std::make_unique<trace::Recorder>(config.trace);
+    network.SetRecorder(recorder.get());
+  }
+
   const size_t total_executors = config.num_workers * config.executors_per_worker;
   const size_t priority_tracking =
       config.policy == PolicyKind::kPriority ? config.priority_levels : 0;
@@ -201,6 +209,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       dc.shadow_copy_dequeue = config.shadow_copy_dequeue;
       dc.parallel_priority_stages = config.parallel_priority_stages;
       draconis_program = std::make_unique<core::DraconisProgram>(policy.get(), dc);
+      draconis_program->SetRecorder(recorder.get());
       pipeline =
           std::make_unique<p4::SwitchPipeline>(&simulator, draconis_program.get(), config.pipeline);
       scheduler_nodes.push_back(pipeline->AttachNetwork(&network));
@@ -213,6 +222,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                          ? baselines::CentralServerConfig::Transport::kDpdk
                          : baselines::CentralServerConfig::Transport::kSocket;
       server = std::make_unique<baselines::CentralServerScheduler>(&simulator, &network, sc);
+      server->SetRecorder(recorder.get());
       scheduler_nodes.push_back(server->node_id());
       break;
     }
@@ -248,6 +258,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     }
   }
 
+  if (pipeline != nullptr) {
+    pipeline->SetRecorder(recorder.get());
+  }
+
   // --- Workers / executors ---------------------------------------------------
   std::vector<std::unique_ptr<Executor>> executors;
   std::vector<std::unique_ptr<baselines::R2P2Worker>> r2p2_workers;
@@ -269,6 +283,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         if (config.locality_access_model) {
           ec.topology = &topology;
         }
+        ec.recorder = recorder.get();
         executors.push_back(std::make_unique<Executor>(&simulator, &network, metrics.get(), ec));
       }
     }
@@ -328,6 +343,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     if (config.scheduler == SchedulerKind::kSparrow) {
       cc.host_profile = baselines::SparrowConfig::Profile();
     }
+    cc.recorder = recorder.get();
     clients.push_back(std::make_unique<Client>(&simulator, &network, metrics.get(), cc));
     clients.back()->SetScheduler(scheduler_nodes[c % scheduler_nodes.size()]);
     client_ptrs.push_back(clients.back().get());
@@ -378,6 +394,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
 
   simulator.RunUntil(horizon + config.drain_margin);
+
+  if (recorder != nullptr) {
+    recorder->FinalizeAt(simulator.Now());
+    result.trace = std::move(recorder);
+  }
 
   // --- Harvest -----------------------------------------------------------------
   if (pipeline != nullptr) {

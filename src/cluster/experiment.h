@@ -24,6 +24,7 @@
 #include "core/policy.h"
 #include "net/network.h"
 #include "p4/pipeline.h"
+#include "trace/recorder.h"
 #include "workload/spec.h"
 
 namespace draconis::cluster {
@@ -93,10 +94,17 @@ struct ExperimentConfig {
   net::NetworkConfig network{};
   ExecutorConfig executor_template{};
   uint64_t seed = 1;
+
+  // Task-lifecycle tracing (docs/observability.md). Sampling is a pure hash
+  // of the task id, so enabling it cannot perturb results.
+  trace::TraceConfig trace{};
 };
 
 struct ExperimentResult {
   std::unique_ptr<MetricsHub> metrics;
+
+  // Populated (and finalized) when config.trace.enabled; null otherwise.
+  std::unique_ptr<trace::Recorder> trace;
 
   // Switch-side observability (zeroed for pure server schedulers).
   p4::PipelineCounters switch_counters{};

@@ -24,6 +24,7 @@
 #include "core/switch_queue.h"
 #include "p4/pipeline.h"
 #include "p4/register.h"
+#include "trace/recorder.h"
 
 namespace draconis::core {
 
@@ -72,6 +73,9 @@ class DraconisProgram : public p4::SwitchProgram {
   size_t num_queues() const { return queues_.size(); }
   SchedulingPolicy* policy() const { return policy_; }
 
+  // Optional task-lifecycle recorder (nullable; never affects behaviour).
+  void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   void HandleSubmission(p4::PassContext& ctx, net::Packet pkt);
   void HandleTaskRequest(p4::PassContext& ctx, net::Packet pkt);
@@ -93,6 +97,7 @@ class DraconisProgram : public p4::SwitchProgram {
 
   SchedulingPolicy* policy_;
   bool parallel_priority_stages_;
+  trace::Recorder* recorder_ = nullptr;
   std::vector<std::unique_ptr<SwitchQueue>> queues_;
   DraconisCounters counters_;
 };

@@ -34,12 +34,14 @@ void Network::Send(NodeId from, Packet pkt) {
 
   if (hosts_[from].disconnected || hosts_[pkt.dst].disconnected) {
     ++packets_dropped_;
+    RecordNetDrops(pkt);
     return;
   }
   if (!drop_rules_.empty()) {
     auto it = drop_rules_.find(PairKey(from, pkt.dst));
     if (it != drop_rules_.end() && rng_.NextBool(it->second)) {
       ++packets_dropped_;
+      RecordNetDrops(pkt);
       return;
     }
   }
@@ -58,6 +60,18 @@ void Network::Send(NodeId from, Packet pkt) {
       config_.max_jitter > 0 ? static_cast<TimeNs>(rng_.NextBelow(config_.max_jitter)) : 0;
   const TimeNs arrives = departs + hops * config_.propagation + serialization + jitter;
 
+  if (recorder_ != nullptr) {
+    // One wire span per sampled task: send initiation -> fabric arrival.
+    // detail carries the tx-occupancy delay; aux the opcode for attribution.
+    for (const TaskInfo& t : pkt.tasks) {
+      if (recorder_->Sampled(t.id)) {
+        recorder_->Record(t.id, trace::Kind::kWire, now, arrives,
+                          static_cast<uint64_t>(departs - now), pkt.dst,
+                          t.meta.attempt, static_cast<uint16_t>(pkt.op));
+      }
+    }
+  }
+
   // Receive-side CPU occupancy plus stack latency.
   const NodeId dst = pkt.dst;
   simulator_->At(arrives, [this, dst, pkt = std::move(pkt)]() mutable {
@@ -66,10 +80,32 @@ void Network::Send(NodeId from, Packet pkt) {
     host.busy_until = std::max(host.busy_until, now_rx) + host.profile.rx_cost;
     const TimeNs deliver_at = host.busy_until + host.profile.stack_latency;
     ++packets_delivered_;
+    if (recorder_ != nullptr && deliver_at > now_rx) {
+      for (const TaskInfo& t : pkt.tasks) {
+        if (recorder_->Sampled(t.id)) {
+          recorder_->Record(t.id, trace::Kind::kHostRx, now_rx, deliver_at,
+                            static_cast<uint64_t>(host.profile.rx_cost), dst,
+                            t.meta.attempt, static_cast<uint16_t>(pkt.op));
+        }
+      }
+    }
     simulator_->At(deliver_at, [this, dst, pkt = std::move(pkt)]() mutable {
       hosts_[dst].endpoint->HandlePacket(std::move(pkt));
     });
   });
+}
+
+void Network::RecordNetDrops(const Packet& pkt) {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  const TimeNs now = simulator_->Now();
+  for (const TaskInfo& t : pkt.tasks) {
+    if (recorder_->Sampled(t.id)) {
+      recorder_->Record(t.id, trace::Kind::kNetDrop, now, now, 0, pkt.dst,
+                        t.meta.attempt, static_cast<uint16_t>(pkt.op));
+    }
+  }
 }
 
 void Network::InjectDrop(NodeId from, NodeId to, double probability) {

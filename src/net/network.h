@@ -26,6 +26,7 @@
 #include "common/time.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "trace/recorder.h"
 
 namespace draconis::net {
 
@@ -78,6 +79,9 @@ class Network {
   // not terminate at the switch is charged two propagation hops.
   void SetSwitchNode(NodeId node) { switch_node_ = node; }
 
+  // Optional task-lifecycle recorder (nullable; never affects behaviour).
+  void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
   // Sends a packet from `from` to `pkt.dst`, applying the latency model.
   // `pkt.src` is stamped with `from`.
   void Send(NodeId from, Packet pkt);
@@ -106,9 +110,12 @@ class Network {
     bool disconnected = false;
   };
 
+  void RecordNetDrops(const Packet& pkt);
+
   sim::Simulator* simulator_;
   NetworkConfig config_;
   Rng rng_;
+  trace::Recorder* recorder_ = nullptr;
   std::vector<Host> hosts_;
   NodeId switch_node_ = kInvalidNode;
   std::unordered_map<uint64_t, double> drop_rules_;  // (from << 32 | to) -> p

@@ -48,8 +48,23 @@ void SwitchPipeline::RunPass(net::Packet pkt, uint32_t pass_number) {
   if (pass_number > 0) {
     ++counters_.recirculations;
   }
+  RecordPerTask(pkt, trace::Kind::kSwitchPass, simulator_->Now(),
+                simulator_->Now() + config_.pass_latency, pass_number);
   PassContext ctx(this, pass_number);
   program_->OnPass(ctx, std::move(pkt));
+}
+
+void SwitchPipeline::RecordPerTask(const net::Packet& pkt, trace::Kind kind, TimeNs begin,
+                                   TimeNs end, uint64_t detail) {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  for (const net::TaskInfo& t : pkt.tasks) {
+    if (recorder_->Sampled(t.id)) {
+      recorder_->Record(t.id, kind, begin, end, detail, node_id_, t.meta.attempt,
+                        static_cast<uint16_t>(pkt.op));
+    }
+  }
 }
 
 void SwitchPipeline::EmitFromPass(net::Packet pkt) {
@@ -72,8 +87,12 @@ void SwitchPipeline::RecirculateFromPass(net::Packet pkt, bool guaranteed) {
   const auto backlog = static_cast<size_t>((start - now) / recirc_interval_);
   if (backlog >= config_.recirc_queue_depth && !guaranteed) {
     ++counters_.recirc_drops;
+    RecordPerTask(pkt, trace::Kind::kRecircDrop, now, now, backlog);
     return;
   }
+  // Loopback residency: pass egress -> re-ingress on the next traversal.
+  RecordPerTask(pkt, trace::Kind::kRecirc, now + config_.pass_latency,
+                start + config_.recirc_latency, backlog);
   recirc_next_free_ = start + recirc_interval_;
   pkt.pipeline_passes += 1;
   const uint32_t next_pass = pkt.pipeline_passes;
@@ -84,8 +103,12 @@ void SwitchPipeline::RecirculateFromPass(net::Packet pkt, bool guaranteed) {
 }
 
 void SwitchPipeline::DropFromPass(const net::Packet& pkt, const std::string& reason) {
-  (void)pkt;
   ++counters_.program_drops[reason];
+  // Bookkeeping drops ("info_*") end packets whose tasks live on elsewhere;
+  // they are not task losses, so only genuine drops are traced.
+  if (reason.rfind("info_", 0) != 0) {
+    RecordPerTask(pkt, trace::Kind::kProgramDrop, simulator_->Now(), simulator_->Now(), 0);
+  }
 }
 
 }  // namespace draconis::p4

@@ -27,6 +27,7 @@
 #include "net/packet.h"
 #include "p4/register.h"
 #include "sim/simulator.h"
+#include "trace/recorder.h"
 
 namespace draconis::p4 {
 
@@ -129,6 +130,9 @@ class SwitchPipeline : public net::Endpoint {
   const PipelineCounters& counters() const { return counters_; }
   ResourceLedger& ledger() { return ledger_; }
 
+  // Optional task-lifecycle recorder (nullable; never affects behaviour).
+  void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
   // net::Endpoint:
   void HandlePacket(net::Packet pkt) override;
 
@@ -139,10 +143,13 @@ class SwitchPipeline : public net::Endpoint {
   void EmitFromPass(net::Packet pkt);
   void RecirculateFromPass(net::Packet pkt, bool guaranteed);
   void DropFromPass(const net::Packet& pkt, const std::string& reason);
+  void RecordPerTask(const net::Packet& pkt, trace::Kind kind, TimeNs begin, TimeNs end,
+                     uint64_t detail);
 
   sim::Simulator* simulator_;
   SwitchProgram* program_;
   PipelineConfig config_;
+  trace::Recorder* recorder_ = nullptr;
   net::Network* network_ = nullptr;
   net::NodeId node_id_ = net::kInvalidNode;
   PipelineCounters counters_;

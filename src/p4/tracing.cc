@@ -9,6 +9,7 @@ namespace draconis::p4 {
 TracingProgram::TracingProgram(SwitchProgram* inner, size_t capacity)
     : inner_(inner), capacity_(capacity) {
   DRACONIS_CHECK(inner != nullptr && capacity > 0);
+  ring_.reserve(capacity);
 }
 
 void TracingProgram::SetFilter(std::function<bool(const net::Packet&)> filter) {
@@ -16,24 +17,39 @@ void TracingProgram::SetFilter(std::function<bool(const net::Packet&)> filter) {
 }
 
 void TracingProgram::Clear() {
-  events_.clear();
+  ring_.clear();
+  next_ = 0;
   recorded_ = 0;
 }
 
+std::vector<TracingProgram::Event> TracingProgram::events() const {
+  std::vector<Event> ordered;
+  ordered.reserve(ring_.size());
+  // Once the ring has wrapped, next_ points at the oldest retained event.
+  const size_t start = ring_.size() == capacity_ ? next_ : 0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    ordered.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return ordered;
+}
+
 void TracingProgram::Dump(std::FILE* out) const {
-  for (const Event& event : events_) {
+  for (const Event& event : events()) {
     std::fprintf(out, "%12s pass=%-2u %s\n", FormatDuration(event.at).c_str(),
-                 event.pass_number, event.summary.c_str());
+                 event.pass_number, event.summary().c_str());
   }
 }
 
 void TracingProgram::OnPass(PassContext& ctx, net::Packet pkt) {
   if (!filter_ || filter_(pkt)) {
     ++recorded_;
-    if (events_.size() == capacity_) {
-      events_.pop_front();
+    Event event{ctx.Now(), ctx.pass_number(), pkt.op, trace::PacketDigest::Of(pkt)};
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+    } else {
+      ring_[next_] = event;
     }
-    events_.push_back(Event{ctx.Now(), ctx.pass_number(), pkt.op, pkt.Describe()});
+    next_ = (next_ + 1) % capacity_;
   }
   inner_->OnPass(ctx, std::move(pkt));
 }

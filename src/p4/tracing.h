@@ -1,20 +1,26 @@
 // Packet-level tracing for switch programs.
 //
 // TracingProgram wraps any SwitchProgram and records a bounded ring of
-// per-pass events (time, pass number, packet summary), optionally filtered.
+// per-pass events (time, pass number, packet digest), optionally filtered.
 // It is the tool for debugging scheduler behaviour ("what did the switch see
 // around t=1.4ms?") without printf-ing from the data path.
+//
+// The ring stores fixed-size trace::PacketDigest records in a preallocated
+// buffer: the steady-state record path allocates nothing (the old ring built
+// a std::string summary per event). The human-readable one-liner is rendered
+// on demand by Event::summary().
 
 #ifndef DRACONIS_P4_TRACING_H_
 #define DRACONIS_P4_TRACING_H_
 
 #include <cstdio>
-#include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/time.h"
 #include "p4/pipeline.h"
+#include "trace/digest.h"
 
 namespace draconis::p4 {
 
@@ -24,7 +30,11 @@ class TracingProgram : public SwitchProgram {
     TimeNs at;
     uint32_t pass_number;
     net::OpCode op;
-    std::string summary;
+    trace::PacketDigest digest;
+
+    // The packet one-liner ("job_submission src=3 dst=0 ..."), materialized
+    // from the digest at dump/inspection time rather than on the data path.
+    std::string summary() const { return digest.Render(); }
   };
 
   // `inner` must outlive the tracer. At most `capacity` events are retained
@@ -34,7 +44,8 @@ class TracingProgram : public SwitchProgram {
   // Record only packets the predicate accepts (default: everything).
   void SetFilter(std::function<bool(const net::Packet&)> filter);
 
-  const std::deque<Event>& events() const { return events_; }
+  // The retained events, oldest first.
+  std::vector<Event> events() const;
   uint64_t recorded() const { return recorded_; }  // total, including evicted
   void Clear();
 
@@ -48,7 +59,8 @@ class TracingProgram : public SwitchProgram {
   SwitchProgram* inner_;
   size_t capacity_;
   std::function<bool(const net::Packet&)> filter_;
-  std::deque<Event> events_;
+  std::vector<Event> ring_;  // wraps at capacity_; next_ is the write cursor
+  size_t next_ = 0;
   uint64_t recorded_ = 0;
 };
 

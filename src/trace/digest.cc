@@ -1,0 +1,47 @@
+#include "trace/digest.h"
+
+#include <sstream>
+
+namespace draconis::trace {
+
+PacketDigest PacketDigest::Of(const net::Packet& pkt) {
+  PacketDigest d;
+  if (!pkt.tasks.empty()) {
+    d.first_task = pkt.tasks[0].id;
+  }
+  d.src = pkt.src;
+  d.dst = pkt.dst;
+  d.uid = pkt.uid;
+  d.jid = pkt.jid;
+  d.num_tasks = static_cast<uint32_t>(pkt.tasks.size());
+  d.pipeline_passes = pkt.pipeline_passes;
+  d.payload_bytes = pkt.payload_bytes;
+  d.exec_props = pkt.exec_props;
+  d.swap_count = pkt.swap_count;
+  d.op = pkt.op;
+  d.queue_index = pkt.queue_index;
+  d.rtrv_prio = pkt.rtrv_prio;
+  d.from_swap = pkt.from_swap;
+  return d;
+}
+
+std::string PacketDigest::Render() const {
+  std::ostringstream os;
+  os << net::OpCodeName(op) << " src=" << src << " dst=" << dst;
+  if (num_tasks > 0) {
+    os << " tasks=" << num_tasks << " first=<" << first_task.uid << "," << first_task.jid
+       << "," << first_task.tid << ">";
+  }
+  if (op == net::OpCode::kTaskRequest || op == net::OpCode::kTaskCompletion) {
+    os << " exec_props=" << exec_props << " rtrv_prio=" << static_cast<int>(rtrv_prio);
+  }
+  if (op == net::OpCode::kSwapTask) {
+    os << " swaps=" << swap_count << " queue=" << static_cast<int>(queue_index);
+  }
+  if (from_swap) {
+    os << " from_swap";
+  }
+  return os.str();
+}
+
+}  // namespace draconis::trace

@@ -1,0 +1,45 @@
+// Fixed-size packet digest.
+//
+// PacketDigest captures everything p4::TracingProgram's ring needs to render
+// a packet one-liner later — opcode, addressing, task identity, walk state —
+// without the per-event std::string the old ring allocated on the data path.
+// Render() materializes the human-readable line on demand (dump/test time).
+
+#ifndef DRACONIS_TRACE_DIGEST_H_
+#define DRACONIS_TRACE_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.h"
+
+namespace draconis::trace {
+
+struct PacketDigest {
+  net::TaskId first_task{};  // tasks[0] when num_tasks > 0
+  net::NodeId src = net::kInvalidNode;
+  net::NodeId dst = net::kInvalidNode;
+  uint32_t uid = 0;
+  uint32_t jid = 0;
+  uint32_t num_tasks = 0;
+  uint32_t pipeline_passes = 0;
+  uint32_t payload_bytes = 0;
+  uint32_t exec_props = 0;
+  uint32_t swap_count = 0;
+  net::OpCode op = net::OpCode::kOther;
+  uint8_t queue_index = 0;
+  uint8_t rtrv_prio = 1;
+  bool from_swap = false;
+
+  static PacketDigest Of(const net::Packet& pkt);
+
+  // "job_submission src=3 dst=0 uid=1 jid=4 tasks=2 first=<1,4,0>" — same
+  // vocabulary as net::Packet::Describe, rebuilt from the digest.
+  std::string Render() const;
+};
+
+static_assert(std::is_trivially_copyable_v<PacketDigest>);
+
+}  // namespace draconis::trace
+
+#endif  // DRACONIS_TRACE_DIGEST_H_

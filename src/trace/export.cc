@@ -1,0 +1,413 @@
+#include "trace/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/json.h"
+
+namespace draconis::trace {
+namespace {
+
+// Stable per-task process ids: 1 is the synthetic "system" process that holds
+// records not tied to a task (rehoming, repair application); sampled tasks get
+// 2.. in first-seen order.
+constexpr uint64_t kSystemPid = 1;
+
+uint32_t ThreadIdFor(const SpanRecord& rec) {
+  const auto lane = static_cast<uint32_t>(LaneFor(rec.kind));
+  return lane * 8 + std::min<uint32_t>(rec.attempt, 7);
+}
+
+std::string TaskName(const net::TaskId& id) {
+  std::ostringstream os;
+  os << "task " << id.uid << ":" << id.jid << ":" << id.tid;
+  return os.str();
+}
+
+void WriteEventArgs(json::Writer& w, const SpanRecord& rec) {
+  w.Key("args").BeginObject();
+  w.Key("detail").UInt(rec.detail);
+  w.Key("node").UInt(rec.node);
+  w.Key("attempt").UInt(rec.attempt);
+  w.Key("aux").UInt(rec.aux);
+  w.EndObject();
+}
+
+void WriteSpanRecordJson(json::Writer& w, const SpanRecord& rec) {
+  w.BeginObject();
+  w.Key("kind").String(KindName(rec.kind));
+  w.Key("lane").String(LaneName(LaneFor(rec.kind)));
+  w.Key("begin_ns").Int(rec.begin);
+  w.Key("end_ns").Int(rec.end);
+  w.Key("detail").UInt(rec.detail);
+  w.Key("node").UInt(rec.node);
+  w.Key("attempt").UInt(rec.attempt);
+  w.Key("aux").UInt(rec.aux);
+  w.EndObject();
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::string SanitizeForFilename(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) || c == '.' || c == '-' || c == '_') {
+      out.push_back(static_cast<char>(std::tolower(u)));
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+std::string RenderChromeTrace(const Recorder& recorder, const std::string& bench) {
+  const auto& records = recorder.records();
+
+  // Assign process ids in first-seen order so output is deterministic.
+  std::unordered_map<net::TaskId, uint64_t, net::TaskIdHash> pids;
+  std::vector<net::TaskId> task_order;
+  bool has_system = false;
+  for (const SpanRecord& rec : records) {
+    if (rec.id == kGlobalTaskId) {
+      has_system = true;
+      continue;
+    }
+    if (pids.emplace(rec.id, 2 + task_order.size()).second) {
+      task_order.push_back(rec.id);
+    }
+  }
+
+  // Expand each record into its trace events, then stable-sort by timestamp.
+  // Stability keeps generation order for ties: a span's B precedes its E, and
+  // back-to-back same-name spans on one thread close before the next opens.
+  struct Ev {
+    TimeNs ts;
+    size_t rec;
+    char ph;  // 'B', 'E', or 'i'
+  };
+  std::vector<Ev> events;
+  events.reserve(records.size() * 2);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& rec = records[i];
+    if (IsInstant(rec.kind)) {
+      events.push_back({rec.begin, i, 'i'});
+    } else {
+      events.push_back({rec.begin, i, 'B'});
+      events.push_back({rec.end, i, 'E'});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Ev& a, const Ev& b) { return a.ts < b.ts; });
+
+  json::Writer w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ns");
+  w.Key("bench").String(bench);
+  w.Key("samplePeriod").UInt(recorder.config().sample_period);
+  w.Key("sampledTasks").UInt(pids.size());
+  w.Key("droppedRecords").UInt(recorder.dropped_records());
+  w.Key("traceEvents").BeginArray();
+
+  // Metadata: process names first, then thread names for every (pid, tid).
+  auto process_name = [&w](uint64_t pid, const std::string& name) {
+    w.BeginObject();
+    w.Key("ph").String("M");
+    w.Key("name").String("process_name");
+    w.Key("pid").UInt(pid);
+    w.Key("tid").UInt(0);
+    w.Key("args").BeginObject().Key("name").String(name).EndObject();
+    w.EndObject();
+  };
+  if (has_system) {
+    process_name(kSystemPid, "system");
+  }
+  for (const net::TaskId& id : task_order) {
+    process_name(pids.at(id), TaskName(id));
+  }
+  std::unordered_set<uint64_t> named_threads;
+  for (const SpanRecord& rec : records) {
+    const uint64_t pid = rec.id == kGlobalTaskId ? kSystemPid : pids.at(rec.id);
+    const uint32_t tid = ThreadIdFor(rec);
+    if (!named_threads.insert(pid << 8 | tid).second) {
+      continue;
+    }
+    std::ostringstream os;
+    os << LaneName(LaneFor(rec.kind)) << "/a" << static_cast<uint32_t>(rec.attempt);
+    w.BeginObject();
+    w.Key("ph").String("M");
+    w.Key("name").String("thread_name");
+    w.Key("pid").UInt(pid);
+    w.Key("tid").UInt(tid);
+    w.Key("args").BeginObject().Key("name").String(os.str()).EndObject();
+    w.EndObject();
+  }
+
+  for (const Ev& ev : events) {
+    const SpanRecord& rec = records[ev.rec];
+    const uint64_t pid = rec.id == kGlobalTaskId ? kSystemPid : pids.at(rec.id);
+    w.BeginObject();
+    w.Key("name").String(KindName(rec.kind));
+    w.Key("cat").String(LaneName(LaneFor(rec.kind)));
+    w.Key("ph").String(std::string(1, ev.ph));
+    w.Key("ts").Double(static_cast<double>(ev.ts) / 1000.0);  // microseconds
+    w.Key("pid").UInt(pid);
+    w.Key("tid").UInt(ThreadIdFor(rec));
+    if (ev.ph == 'i') {
+      w.Key("s").String("t");
+    }
+    if (ev.ph != 'E') {
+      WriteEventArgs(w, rec);
+    }
+    w.EndObject();
+  }
+
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool WriteChromeTraceFile(const std::string& path, const Recorder& recorder,
+                          const std::string& bench) {
+  return WriteFile(path, RenderChromeTrace(recorder, bench));
+}
+
+AttributionReport BuildAttribution(const Recorder& recorder, size_t top_k) {
+  AttributionReport report;
+  report.sample_period = recorder.config().sample_period;
+  report.dropped_records = recorder.dropped_records();
+
+  // Group records per task, preserving first-seen task order and the
+  // generation order of each task's records.
+  std::unordered_map<net::TaskId, size_t, net::TaskIdHash> index;
+  std::vector<std::vector<const SpanRecord*>> timelines;
+  std::vector<net::TaskId> ids;
+  for (const SpanRecord& rec : recorder.records()) {
+    if (rec.id == kGlobalTaskId) {
+      continue;
+    }
+    auto [it, inserted] = index.emplace(rec.id, timelines.size());
+    if (inserted) {
+      timelines.emplace_back();
+      ids.push_back(rec.id);
+    }
+    timelines[it->second].push_back(&rec);
+  }
+
+  constexpr TimeNs kUnset = -1;
+  const auto submission_aux = static_cast<uint16_t>(net::OpCode::kJobSubmission);
+  for (size_t t = 0; t < timelines.size(); ++t) {
+    ++report.sampled_tasks;
+    const auto& recs = timelines[t];
+
+    const SpanRecord* complete = nullptr;
+    for (const SpanRecord* r : recs) {
+      if (r->kind == Kind::kComplete) {
+        complete = r;
+        break;
+      }
+      if (r->kind == Kind::kCensored) {
+        ++report.censored_tasks;
+        break;
+      }
+    }
+    if (complete == nullptr) {
+      continue;
+    }
+    ++report.completed_tasks;
+
+    const uint32_t win = complete->attempt;
+    TimeNs first_submit = kUnset, send_w = kUnset, switch_in = kUnset;
+    TimeNs enqueue = kUnset, assign = kUnset, exec_arrive = kUnset;
+    TimeNs exec_done = kUnset;
+    const TimeNs done = complete->begin;
+    for (const SpanRecord* r : recs) {
+      switch (r->kind) {
+        case Kind::kSubmit:
+          if (first_submit == kUnset) first_submit = r->begin;
+          break;
+        case Kind::kClientSend:
+          if (send_w == kUnset && r->attempt == win) send_w = r->begin;
+          break;
+        case Kind::kWire:
+          if (switch_in == kUnset && r->attempt == win && r->aux == submission_aux) {
+            switch_in = r->end;
+          }
+          break;
+        case Kind::kEnqueue:
+          if (enqueue == kUnset && r->attempt == win) enqueue = r->begin;
+          break;
+        case Kind::kAssign:
+          if (assign == kUnset && r->attempt == win) assign = r->begin;
+          break;
+        case Kind::kExecArrive:
+          if (exec_arrive == kUnset && r->attempt == win) exec_arrive = r->begin;
+          break;
+        case Kind::kExecService:
+          if (exec_done == kUnset && r->attempt == win) exec_done = r->end;
+          break;
+        default:
+          break;
+      }
+    }
+    if (first_submit == kUnset && !recs.empty()) {
+      first_submit = recs.front()->begin;
+    }
+    if (first_submit == kUnset || send_w == kUnset || switch_in == kUnset ||
+        enqueue == kUnset || assign == kUnset || exec_arrive == kUnset ||
+        exec_done == kUnset) {
+      ++report.partial_timelines;
+      continue;
+    }
+
+    TaskAttribution attr;
+    attr.id = ids[t];
+    attr.attempt = win;
+    attr.first_submit = first_submit;
+    attr.completed = done;
+    // Telescoping milestones: the five stages sum exactly to `total`.
+    attr.stages.client = send_w - first_submit;
+    attr.stages.scheduling = enqueue - switch_in;
+    attr.stages.queue = assign - enqueue;
+    attr.stages.executor = exec_done - exec_arrive;
+    attr.stages.wire =
+        (switch_in - send_w) + (exec_arrive - assign) + (done - exec_done);
+    attr.stages.total = done - first_submit;
+    if (attr.stages.client < 0 || attr.stages.scheduling < 0 ||
+        attr.stages.queue < 0 || attr.stages.executor < 0 ||
+        attr.stages.wire < 0) {
+      ++report.partial_timelines;  // out-of-order milestones; do not attribute
+      continue;
+    }
+    report.client.Record(attr.stages.client);
+    report.wire.Record(attr.stages.wire);
+    report.scheduling.Record(attr.stages.scheduling);
+    report.queue.Record(attr.stages.queue);
+    report.executor.Record(attr.stages.executor);
+    report.total.Record(attr.stages.total);
+    report.tasks.push_back(attr);
+  }
+
+  report.slowest.resize(report.tasks.size());
+  for (size_t i = 0; i < report.slowest.size(); ++i) {
+    report.slowest[i] = i;
+  }
+  std::stable_sort(report.slowest.begin(), report.slowest.end(),
+                   [&report](size_t a, size_t b) {
+                     return report.tasks[a].stages.total > report.tasks[b].stages.total;
+                   });
+  if (report.slowest.size() > top_k) {
+    report.slowest.resize(top_k);
+  }
+  return report;
+}
+
+std::string RenderAttribution(const AttributionReport& report, const Recorder& recorder,
+                              const std::string& bench) {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("kind").String("trace_attribution");
+  w.Key("bench").String(bench);
+  w.Key("sample_period").UInt(report.sample_period);
+  w.Key("sampled_tasks").UInt(report.sampled_tasks);
+  w.Key("completed_tasks").UInt(report.completed_tasks);
+  w.Key("censored_tasks").UInt(report.censored_tasks);
+  w.Key("partial_timelines").UInt(report.partial_timelines);
+  w.Key("dropped_records").UInt(report.dropped_records);
+  w.Key("attributed_tasks").UInt(report.tasks.size());
+
+  w.Key("stages").BeginObject();
+  w.Key("client");
+  report.client.WriteJson(w);
+  w.Key("wire");
+  report.wire.WriteJson(w);
+  w.Key("scheduling");
+  report.scheduling.WriteJson(w);
+  w.Key("queue");
+  report.queue.WriteJson(w);
+  w.Key("executor");
+  report.executor.WriteJson(w);
+  w.Key("total");
+  report.total.WriteJson(w);
+  w.EndObject();
+
+  auto write_task = [&w](const TaskAttribution& attr) {
+    w.Key("uid").UInt(attr.id.uid);
+    w.Key("jid").UInt(attr.id.jid);
+    w.Key("tid").UInt(attr.id.tid);
+    w.Key("attempt").UInt(attr.attempt);
+    w.Key("first_submit_ns").Int(attr.first_submit);
+    w.Key("completed_ns").Int(attr.completed);
+    w.Key("client_ns").Int(attr.stages.client);
+    w.Key("wire_ns").Int(attr.stages.wire);
+    w.Key("scheduling_ns").Int(attr.stages.scheduling);
+    w.Key("queue_ns").Int(attr.stages.queue);
+    w.Key("executor_ns").Int(attr.stages.executor);
+    w.Key("total_ns").Int(attr.stages.total);
+  };
+
+  w.Key("tasks").BeginArray();
+  for (const TaskAttribution& attr : report.tasks) {
+    w.BeginObject();
+    write_task(attr);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Full timelines for the slowest tasks: one recorder pass, filtered by id.
+  std::unordered_map<net::TaskId, size_t, net::TaskIdHash> slow_ids;
+  for (size_t idx : report.slowest) {
+    slow_ids.emplace(report.tasks[idx].id, idx);
+  }
+  std::unordered_map<size_t, std::vector<const SpanRecord*>> slow_timelines;
+  for (const SpanRecord& rec : recorder.records()) {
+    auto it = slow_ids.find(rec.id);
+    if (it != slow_ids.end()) {
+      slow_timelines[it->second].push_back(&rec);
+    }
+  }
+  w.Key("top_slowest").BeginArray();
+  for (size_t idx : report.slowest) {
+    const TaskAttribution& attr = report.tasks[idx];
+    w.BeginObject();
+    write_task(attr);
+    w.Key("timeline").BeginArray();
+    for (const SpanRecord* rec : slow_timelines[idx]) {
+      WriteSpanRecordJson(w, *rec);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str();
+}
+
+bool WriteAttributionFile(const std::string& path, const AttributionReport& report,
+                          const Recorder& recorder, const std::string& bench) {
+  return WriteFile(path, RenderAttribution(report, recorder, bench));
+}
+
+}  // namespace draconis::trace

@@ -1,0 +1,90 @@
+// Trace exporters: Chrome trace-event JSON and latency attribution.
+//
+// Two consumers of a finalized Recorder:
+//
+//   * RenderChromeTrace — the Chrome trace-event format (one "process" per
+//     sampled task, one "thread" per lane×attempt), loadable directly in
+//     Perfetto / chrome://tracing for visual timeline inspection.
+//   * BuildAttribution — a per-task latency breakdown that telescopes each
+//     completed task's end-to-end latency into client / wire / scheduling /
+//     queue / executor stages summing *exactly* (integer nanoseconds) to the
+//     measured total, aggregated into per-stage histograms plus the top-K
+//     slowest tasks with their full span timelines.
+//
+// Both are validated by scripts/trace_stats.py; the schema is documented in
+// docs/observability.md.
+
+#ifndef DRACONIS_TRACE_EXPORT_H_
+#define DRACONIS_TRACE_EXPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "net/packet.h"
+#include "stats/histogram.h"
+#include "trace/recorder.h"
+
+namespace draconis::trace {
+
+// Per-task stage breakdown; the five stages sum exactly to `total`.
+struct StageBreakdown {
+  TimeNs client = 0;      // submit -> winning attempt leaves the client
+  TimeNs wire = 0;        // all network segments (to switch, to executor, back)
+  TimeNs scheduling = 0;  // switch ingress -> enqueued (passes, repairs, recirc)
+  TimeNs queue = 0;       // queue residency: enqueue -> assigned
+  TimeNs executor = 0;    // executor arrival -> service done
+  TimeNs total = 0;       // submit -> completion notice at the client
+};
+
+struct TaskAttribution {
+  net::TaskId id{};
+  uint32_t attempt = 0;  // winning (completing) attempt
+  TimeNs first_submit = 0;
+  TimeNs completed = 0;
+  StageBreakdown stages;
+};
+
+struct AttributionReport {
+  uint64_t sample_period = 1;
+  uint64_t sampled_tasks = 0;
+  uint64_t completed_tasks = 0;
+  uint64_t censored_tasks = 0;
+  // Completed tasks whose timeline lacks a milestone (e.g. schedulers that do
+  // not record enqueue/assign); counted but excluded from `tasks`.
+  uint64_t partial_timelines = 0;
+  uint64_t dropped_records = 0;
+
+  stats::Histogram client;
+  stats::Histogram wire;
+  stats::Histogram scheduling;
+  stats::Histogram queue;
+  stats::Histogram executor;
+  stats::Histogram total;
+
+  std::vector<TaskAttribution> tasks;   // every fully-attributed task
+  std::vector<size_t> slowest;          // indices into `tasks`, total desc
+};
+
+// Builds the attribution report from a finalized recorder.
+AttributionReport BuildAttribution(const Recorder& recorder, size_t top_k = 10);
+
+// Chrome trace-event JSON ({"traceEvents": [...]}) for the whole recorder.
+std::string RenderChromeTrace(const Recorder& recorder, const std::string& bench);
+bool WriteChromeTraceFile(const std::string& path, const Recorder& recorder,
+                          const std::string& bench);
+
+// Attribution-report JSON. The recorder is re-scanned to attach the full span
+// timeline of each top-K slowest task.
+std::string RenderAttribution(const AttributionReport& report, const Recorder& recorder,
+                              const std::string& bench);
+bool WriteAttributionFile(const std::string& path, const AttributionReport& report,
+                          const Recorder& recorder, const std::string& bench);
+
+// Lowercases and maps non-[a-z0-9._-] characters to '_' for output filenames.
+std::string SanitizeForFilename(const std::string& label);
+
+}  // namespace draconis::trace
+
+#endif  // DRACONIS_TRACE_EXPORT_H_

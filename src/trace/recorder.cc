@@ -1,0 +1,31 @@
+#include "trace/recorder.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace draconis::trace {
+
+void Recorder::FinalizeAt(TimeNs horizon) {
+  // First-seen order keeps the appended kCensored records deterministic.
+  std::unordered_map<net::TaskId, size_t, net::TaskIdHash> index;
+  std::vector<std::pair<net::TaskId, bool>> tasks;  // (id, has terminal)
+  for (const SpanRecord& rec : records_) {
+    if (rec.id == kGlobalTaskId) {
+      continue;
+    }
+    auto [it, inserted] = index.emplace(rec.id, tasks.size());
+    if (inserted) {
+      tasks.emplace_back(rec.id, false);
+    }
+    if (IsTerminal(rec.kind)) {
+      tasks[it->second].second = true;
+    }
+  }
+  for (const auto& [id, terminal] : tasks) {
+    if (!terminal) {
+      Record(id, Kind::kCensored, horizon, horizon);
+    }
+  }
+}
+
+}  // namespace draconis::trace

@@ -1,0 +1,116 @@
+#include "trace/span.h"
+
+namespace draconis::trace {
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kSubmit:
+      return "submit";
+    case Kind::kClientSend:
+      return "client_send";
+    case Kind::kTimeoutResubmit:
+      return "timeout_resubmit";
+    case Kind::kQueueFullRetry:
+      return "queue_full_retry";
+    case Kind::kComplete:
+      return "complete";
+    case Kind::kDuplicateComplete:
+      return "duplicate_complete";
+    case Kind::kCensored:
+      return "censored";
+    case Kind::kWire:
+      return "wire";
+    case Kind::kHostRx:
+      return "host_rx";
+    case Kind::kNetDrop:
+      return "net_drop";
+    case Kind::kSwitchPass:
+      return "switch_pass";
+    case Kind::kRecirc:
+      return "recirculation";
+    case Kind::kRecircDrop:
+      return "recirc_drop";
+    case Kind::kProgramDrop:
+      return "program_drop";
+    case Kind::kEnqueue:
+      return "enqueue";
+    case Kind::kQueueFullError:
+      return "queue_full_error";
+    case Kind::kRepairLaunch:
+      return "repair_launch";
+    case Kind::kRepairApply:
+      return "repair_apply";
+    case Kind::kSwapExchange:
+      return "swap_exchange";
+    case Kind::kSwapRequeue:
+      return "swap_requeue";
+    case Kind::kQueueWait:
+      return "queue_wait";
+    case Kind::kAssign:
+      return "assign";
+    case Kind::kExecArrive:
+      return "exec_arrive";
+    case Kind::kExecPickup:
+      return "exec_pickup";
+    case Kind::kExecService:
+      return "exec_service";
+    case Kind::kRehome:
+      return "rehome";
+  }
+  return "unknown";
+}
+
+const char* LaneName(Lane lane) {
+  switch (lane) {
+    case Lane::kClient:
+      return "client";
+    case Lane::kNet:
+      return "net";
+    case Lane::kSwitch:
+      return "switch";
+    case Lane::kQueue:
+      return "queue";
+    case Lane::kExecutor:
+      return "executor";
+  }
+  return "unknown";
+}
+
+Lane LaneFor(Kind kind) {
+  switch (kind) {
+    case Kind::kSubmit:
+    case Kind::kClientSend:
+    case Kind::kTimeoutResubmit:
+    case Kind::kQueueFullRetry:
+    case Kind::kComplete:
+    case Kind::kDuplicateComplete:
+    case Kind::kCensored:
+      return Lane::kClient;
+    case Kind::kWire:
+    case Kind::kHostRx:
+    case Kind::kNetDrop:
+      return Lane::kNet;
+    case Kind::kSwitchPass:
+    case Kind::kRecirc:
+    case Kind::kRecircDrop:
+    case Kind::kProgramDrop:
+    case Kind::kEnqueue:
+    case Kind::kQueueFullError:
+    case Kind::kRepairLaunch:
+    case Kind::kRepairApply:
+    case Kind::kSwapExchange:
+    case Kind::kSwapRequeue:
+    case Kind::kRehome:
+      return Lane::kSwitch;
+    case Kind::kQueueWait:
+    case Kind::kAssign:
+      return Lane::kQueue;
+    case Kind::kExecArrive:
+    case Kind::kExecPickup:
+    case Kind::kExecService:
+      return Lane::kExecutor;
+  }
+  return Lane::kClient;
+}
+
+}  // namespace draconis::trace

@@ -154,6 +154,44 @@ TEST(DeterminismTest, Fig05aShapedRunIsBitIdentical) {
   EXPECT_EQ(a.counters.noops_sent, b.counters.noops_sent);
 }
 
+// Tracing must be a pure observer: sampling is a hash of the task id (no
+// RNG, no scheduled events), so a traced run — at any sampling rate — is
+// bit-identical to an untraced one. Guards the recorder threading through
+// client/network/switch/executor against accidental behaviour branches.
+TEST(DeterminismTest, TracingAtAnyRateIsBitIdenticalToUntraced) {
+  auto run = [](bool enabled, uint64_t period) {
+    cluster::ExperimentConfig config = Fig05aMiniConfig();
+    config.trace.enabled = enabled;
+    config.trace.sample_period = period;
+    return RunExperiment(config);
+  };
+  cluster::ExperimentResult off = run(false, 64);
+  cluster::ExperimentResult sampled = run(true, 64);
+  cluster::ExperimentResult full = run(true, 1);
+
+  ASSERT_EQ(off.trace, nullptr);
+  ASSERT_NE(sampled.trace, nullptr);
+  ASSERT_NE(full.trace, nullptr);
+  EXPECT_GT(full.trace->records().size(), sampled.trace->records().size());
+
+  for (const cluster::ExperimentResult* traced : {&sampled, &full}) {
+    EXPECT_EQ(off.metrics->tasks_submitted(), traced->metrics->tasks_submitted());
+    EXPECT_EQ(off.metrics->tasks_completed(), traced->metrics->tasks_completed());
+    EXPECT_EQ(off.metrics->sched_delay().count(), traced->metrics->sched_delay().count());
+    for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(off.metrics->sched_delay().Percentile(q),
+                traced->metrics->sched_delay().Percentile(q))
+          << "q=" << q;
+      EXPECT_EQ(off.metrics->e2e_delay().Percentile(q),
+                traced->metrics->e2e_delay().Percentile(q))
+          << "q=" << q;
+    }
+    EXPECT_EQ(off.switch_counters.passes, traced->switch_counters.passes);
+    EXPECT_EQ(off.counters.tasks_assigned, traced->counters.tasks_assigned);
+    EXPECT_EQ(off.counters.noops_sent, traced->counters.noops_sent);
+  }
+}
+
 // Builds a randomized self-extending event graph on `sim`: chains that
 // reschedule themselves, cancellable watchdogs that are armed and torn
 // down, and a periodic timer — all driven off one seeded Rng so two

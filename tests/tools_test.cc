@@ -197,9 +197,10 @@ TEST(TracingTest, RecordsPassesThroughToInnerProgram) {
   simulator.RunAll();
 
   EXPECT_EQ(program.counters().tasks_enqueued, 1u);  // the inner program ran
-  ASSERT_EQ(tracer.events().size(), 1u);
-  EXPECT_EQ(tracer.events()[0].op, net::OpCode::kJobSubmission);
-  EXPECT_NE(tracer.events()[0].summary.find("job_submission"), std::string::npos);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].op, net::OpCode::kJobSubmission);
+  EXPECT_NE(events[0].summary().find("job_submission"), std::string::npos);
 }
 
 TEST(TracingTest, FilterAndEviction) {
