@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/deployment.h"
 #include "cluster/experiment.h"
 #include "common/flags.h"
 #include "sweep/report.h"
@@ -115,8 +116,14 @@ inline void PrintQuantileHeader(const char* label) {
 }
 
 // Valid values for a --scheduler flag (AddChoice); "all" disables filtering.
+// The kind names come from the DeploymentRegistry, so a newly registered
+// scheduler is selectable in every bench without touching this file.
 inline std::vector<std::string> SchedulerChoices() {
-  return {"all", "draconis", "racksched", "r2p2", "dpdk-server", "socket-server", "sparrow"};
+  std::vector<std::string> choices = {"all"};
+  for (const std::string& flag : cluster::DeploymentRegistry::Get().FlagChoices()) {
+    choices.push_back(flag);
+  }
+  return choices;
 }
 
 // True when a --scheduler choice selects systems of this kind.

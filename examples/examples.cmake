@@ -14,9 +14,11 @@ draconis_add_example(priority_analytics)
 draconis_add_example(locality_cache)
 draconis_add_example(gpu_inference)
 draconis_add_example(cluster_sim)
+draconis_add_example(list_schedulers)
 
 # Smoke-test the examples as part of ctest (each asserts on its own output).
 add_test(NAME example_quickstart COMMAND example_quickstart)
 add_test(NAME example_gpu_inference COMMAND example_gpu_inference)
 add_test(NAME example_cluster_sim
          COMMAND example_cluster_sim --utilization=0.4 --duration-ms=10)
+add_test(NAME example_list_schedulers COMMAND example_list_schedulers)

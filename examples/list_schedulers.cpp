@@ -1,0 +1,51 @@
+// Enumerates the scheduler deployments registered in the DeploymentRegistry —
+// the single source of truth for scheduler-kind names, --scheduler flag
+// spellings, supported policies, and replication. A scheduler added through
+// one deployment file pair shows up here (and in every bench's --scheduler
+// choices) without touching this file.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/list_schedulers            # human-readable table
+//   ./build/examples/list_schedulers --flags-only   # one flag spelling per line
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/deployment.h"
+#include "cluster/experiment.h"
+
+using namespace draconis;
+
+int main(int argc, char** argv) {
+  const cluster::DeploymentRegistry& registry = cluster::DeploymentRegistry::Get();
+
+  // --flags-only: the machine-readable spelling list, for shell loops like
+  // the CI per-scheduler bench smoke.
+  if (argc > 1 && std::strcmp(argv[1], "--flags-only") == 0) {
+    for (const std::string& flag : registry.FlagChoices()) {
+      std::printf("%s\n", flag.c_str());
+    }
+    return registry.all().empty() ? 1 : 0;
+  }
+
+  std::printf("%zu registered scheduler deployments:\n\n", registry.all().size());
+  std::printf("%-24s %-16s %-10s %s\n", "scheduler", "--scheduler", "replicas",
+              "policies");
+  for (const cluster::DeploymentInfo& info : registry.all()) {
+    std::string policies;
+    for (cluster::PolicyKind policy : info.policies) {
+      if (!policies.empty()) {
+        policies += ", ";
+      }
+      policies += cluster::PolicyKindName(policy);
+    }
+    std::printf("%-24s %-16s %-10s %s\n", info.canonical_name, info.flag_name,
+                info.multi_scheduler ? "yes" : "no", policies.c_str());
+  }
+  std::printf("\nAdd a scheduler by writing one deployment file pair next to it and\n"
+              "registering it in the DeploymentRegistry constructor — every bench,\n"
+              "name lookup, and the experiment smoke matrix pick it up from there.\n");
+  return registry.all().size() == 6 ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include "cluster/client.h"
 #include "cluster/executor.h"
 #include "cluster/metrics.h"
+#include "cluster/testbed.h"
 #include "core/draconis_program.h"
 #include "core/policy.h"
 #include "net/network.h"
@@ -21,9 +22,13 @@ using namespace draconis;
 int main() {
   std::printf("Draconis quickstart: 1 switch, 8 executors, 1 client\n\n");
 
-  // 1. The simulation substrate: a discrete-event clock and a network fabric.
-  sim::Simulator simulator;
-  net::Network network(&simulator, net::NetworkConfig{});
+  // 1. The simulation substrate: a Testbed bundles the discrete-event clock,
+  //    the network fabric, the metrics hub, and the rack topology.
+  cluster::TestbedConfig testbed_config;
+  testbed_config.num_workers = 2;
+  testbed_config.horizon = FromSeconds(1);
+  cluster::Testbed testbed(testbed_config);
+  sim::Simulator& simulator = testbed.simulator();
 
   // 2. The in-network scheduler: a cFCFS policy compiled into the Draconis
   //    switch program, installed on a pipeline that enforces the Tofino
@@ -32,18 +37,16 @@ int main() {
   core::DraconisConfig switch_config;
   switch_config.queue_capacity = 1024;
   core::DraconisProgram program(&policy, switch_config);
-  p4::SwitchPipeline pipeline(&simulator, &program, p4::PipelineConfig{});
-  const net::NodeId scheduler = pipeline.AttachNetwork(&network);
+  p4::SwitchPipeline pipeline(testbed, &program, p4::PipelineConfig{});
+  const net::NodeId scheduler = pipeline.node_id();
 
-  // 3. Metrics sink + pull-based executors. Each executor asks the switch
-  //    for work whenever it is free.
-  cluster::MetricsHub metrics(/*measure_start=*/1, /*measure_end=*/FromSeconds(1));
+  // 3. Pull-based executors. Each executor asks the switch for work whenever
+  //    it is free, and reports into the testbed's metrics hub.
   std::vector<std::unique_ptr<cluster::Executor>> executors;
   for (uint32_t i = 0; i < 8; ++i) {
     cluster::ExecutorConfig config;
     config.worker_node = i / 4;  // two simulated worker machines
-    executors.push_back(
-        std::make_unique<cluster::Executor>(&simulator, &network, &metrics, config));
+    executors.push_back(std::make_unique<cluster::Executor>(&testbed, config));
     executors.back()->Start(scheduler, /*at=*/1 + i * 200);
   }
 
@@ -52,7 +55,7 @@ int main() {
   //    full service time in the queue by design.)
   cluster::ClientConfig client_config;
   client_config.timeout_multiplier = 10.0;
-  cluster::Client client(&simulator, &network, &metrics, client_config);
+  cluster::Client client(&testbed, client_config);
   client.SetScheduler(scheduler);
   simulator.At(FromMicros(50), [&] {
     std::vector<cluster::TaskSpec> job(12);
@@ -67,6 +70,7 @@ int main() {
   // 5. Run until the cluster drains.
   simulator.RunUntil(FromMillis(2));
 
+  cluster::MetricsHub& metrics = *testbed.metrics();
   std::printf("t=%-8s all done: %llu completions\n\n",
               FormatDuration(simulator.Now()).c_str(),
               static_cast<unsigned long long>(client.completions()));

@@ -6,11 +6,13 @@
 
 namespace draconis::baselines {
 
-CentralServerScheduler::CentralServerScheduler(sim::Simulator* simulator, net::Network* network,
+CentralServerScheduler::CentralServerScheduler(cluster::Testbed* testbed,
                                                const CentralServerConfig& config)
-    : simulator_(simulator), network_(network), config_(config) {
-  DRACONIS_CHECK(simulator != nullptr && network != nullptr);
-  node_id_ = network->Register(this, config.Profile());
+    : simulator_(&testbed->simulator()),
+      network_(&testbed->network()),
+      recorder_(testbed->recorder()),
+      config_(config) {
+  node_id_ = network_->Register(this, config.Profile());
 }
 
 void CentralServerScheduler::HandlePacket(net::Packet pkt) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "cluster/testbed.h"
 #include "common/time.h"
 #include "net/network.h"
 #include "net/packet.h"
@@ -53,15 +54,13 @@ struct CentralServerCounters {
 
 class CentralServerScheduler : public net::Endpoint {
  public:
-  CentralServerScheduler(sim::Simulator* simulator, net::Network* network,
-                         const CentralServerConfig& config);
+  // Registers itself on the testbed's fabric and picks up its recorder. The
+  // testbed must outlive the scheduler.
+  CentralServerScheduler(cluster::Testbed* testbed, const CentralServerConfig& config);
 
   net::NodeId node_id() const { return node_id_; }
   const CentralServerCounters& counters() const { return counters_; }
   size_t queue_depth() const { return queue_.size(); }
-
-  // Optional task-lifecycle recorder (nullable; never affects behaviour).
-  void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
 
   // net::Endpoint:
   void HandlePacket(net::Packet pkt) override;

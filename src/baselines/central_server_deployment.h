@@ -1,0 +1,33 @@
+// Deploys the Draconis-DPDK-Server / Draconis-Socket-Server baselines (one
+// CentralServerScheduler plus the shared pull-based executor fleet) on a
+// Testbed. Registered in the DeploymentRegistry (cluster/deployment.cc).
+
+#ifndef DRACONIS_BASELINES_CENTRAL_SERVER_DEPLOYMENT_H_
+#define DRACONIS_BASELINES_CENTRAL_SERVER_DEPLOYMENT_H_
+
+#include <memory>
+
+#include "baselines/central_server.h"
+#include "cluster/deployment.h"
+
+namespace draconis::baselines {
+
+class CentralServerDeployment : public cluster::PullBasedDeployment {
+ public:
+  CentralServerDeployment(const cluster::ExperimentConfig& config,
+                          CentralServerConfig::Transport transport);
+
+  void Build(cluster::Testbed& testbed) override;
+  void Harvest(cluster::ExperimentResult& result) override;
+
+ private:
+  CentralServerConfig::Transport transport_;
+  std::unique_ptr<CentralServerScheduler> server_;
+};
+
+cluster::DeploymentInfo DpdkServerDeploymentInfo();
+cluster::DeploymentInfo SocketServerDeploymentInfo();
+
+}  // namespace draconis::baselines
+
+#endif  // DRACONIS_BASELINES_CENTRAL_SERVER_DEPLOYMENT_H_

@@ -99,17 +99,16 @@ void R2P2Program::OnPass(p4::PassContext& ctx, net::Packet pkt) {
   ctx.Emit(std::move(push));
 }
 
-R2P2Worker::R2P2Worker(sim::Simulator* simulator, net::Network* network,
-                       cluster::MetricsHub* metrics, std::vector<size_t> slots,
+R2P2Worker::R2P2Worker(cluster::Testbed* testbed, std::vector<size_t> slots,
                        uint32_t worker_node, net::NodeId scheduler, TimeNs pickup_overhead)
-    : simulator_(simulator),
-      network_(network),
-      metrics_(metrics),
+    : simulator_(&testbed->simulator()),
+      network_(&testbed->network()),
+      metrics_(testbed->metrics()),
       worker_node_(worker_node),
       scheduler_(scheduler),
       pickup_overhead_(pickup_overhead) {
-  DRACONIS_CHECK(simulator != nullptr && network != nullptr && metrics != nullptr);
-  node_id_ = network->Register(this, net::HostProfile::Dpdk(TimeNs{150}));
+  DRACONIS_CHECK(metrics_ != nullptr);
+  node_id_ = network_->Register(this, net::HostProfile::Dpdk(TimeNs{150}));
   slots_.reserve(slots.size());
   for (size_t slot : slots) {
     ExecutorSlot s;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "cluster/metrics.h"
+#include "cluster/testbed.h"
 #include "common/time.h"
 #include "net/network.h"
 #include "net/packet.h"
@@ -97,10 +98,10 @@ class R2P2Program : public p4::SwitchProgram {
 // FIFO.
 class R2P2Worker : public net::Endpoint {
  public:
-  // `slots` lists the global executor-slot ids this worker hosts.
-  R2P2Worker(sim::Simulator* simulator, net::Network* network, cluster::MetricsHub* metrics,
-             std::vector<size_t> slots, uint32_t worker_node, net::NodeId scheduler,
-             TimeNs pickup_overhead = TimeNs{200});
+  // `slots` lists the global executor-slot ids this worker hosts. The worker
+  // registers itself on the testbed's fabric; the testbed must outlive it.
+  R2P2Worker(cluster::Testbed* testbed, std::vector<size_t> slots, uint32_t worker_node,
+             net::NodeId scheduler, TimeNs pickup_overhead = TimeNs{200});
 
   net::NodeId node_id() const { return node_id_; }
 

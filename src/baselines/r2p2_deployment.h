@@ -1,0 +1,36 @@
+// Deploys the R2P2 JBSQ(k) baseline (the R2P2Program on a SwitchPipeline,
+// plus its push-based workers) on a Testbed. Registered in the
+// DeploymentRegistry (cluster/deployment.cc).
+
+#ifndef DRACONIS_BASELINES_R2P2_DEPLOYMENT_H_
+#define DRACONIS_BASELINES_R2P2_DEPLOYMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/r2p2.h"
+#include "cluster/deployment.h"
+#include "p4/pipeline.h"
+
+namespace draconis::baselines {
+
+class R2P2Deployment : public cluster::SchedulerDeployment {
+ public:
+  explicit R2P2Deployment(const cluster::ExperimentConfig& config);
+
+  void Build(cluster::Testbed& testbed) override;
+  void WireWorkers(cluster::Testbed& testbed) override;
+  void ConfigureClient(cluster::ClientConfig& client) override;
+  void Harvest(cluster::ExperimentResult& result) override;
+
+ private:
+  std::unique_ptr<R2P2Program> program_;
+  std::unique_ptr<p4::SwitchPipeline> pipeline_;
+  std::vector<std::unique_ptr<R2P2Worker>> workers_;
+};
+
+cluster::DeploymentInfo R2P2DeploymentInfo();
+
+}  // namespace draconis::baselines
+
+#endif  // DRACONIS_BASELINES_R2P2_DEPLOYMENT_H_

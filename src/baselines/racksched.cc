@@ -66,22 +66,21 @@ void RackSchedProgram::OnPass(p4::PassContext& ctx, net::Packet pkt) {
   ctx.Emit(std::move(push));
 }
 
-RackSchedWorker::RackSchedWorker(sim::Simulator* simulator, net::Network* network,
-                                 cluster::MetricsHub* metrics, size_t num_executors,
+RackSchedWorker::RackSchedWorker(cluster::Testbed* testbed, size_t num_executors,
                                  uint32_t worker_node, net::NodeId scheduler,
                                  TimeNs dispatch_overhead, TimeNs pickup_overhead,
                                  IntraNodePolicy policy)
-    : simulator_(simulator),
-      network_(network),
-      metrics_(metrics),
+    : simulator_(&testbed->simulator()),
+      network_(&testbed->network()),
+      metrics_(testbed->metrics()),
       worker_node_(worker_node),
       scheduler_(scheduler),
       dispatch_overhead_(dispatch_overhead),
       pickup_overhead_(pickup_overhead),
       policy_(policy) {
-  DRACONIS_CHECK(simulator != nullptr && network != nullptr && metrics != nullptr);
+  DRACONIS_CHECK(metrics_ != nullptr);
   DRACONIS_CHECK(num_executors >= 1);
-  node_id_ = network->Register(this, net::HostProfile::Dpdk(TimeNs{150}));
+  node_id_ = network_->Register(this, net::HostProfile::Dpdk(TimeNs{150}));
   core_busy_.assign(num_executors, false);
 }
 

@@ -31,6 +31,7 @@
 
 #include "baselines/intra_node_policy.h"
 #include "cluster/metrics.h"
+#include "cluster/testbed.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "net/network.h"
@@ -73,8 +74,8 @@ class RackSchedProgram : public p4::SwitchProgram {
 // dispatcher that costs `dispatch_overhead` per task.
 class RackSchedWorker : public net::Endpoint {
  public:
-  RackSchedWorker(sim::Simulator* simulator, net::Network* network,
-                  cluster::MetricsHub* metrics, size_t num_executors, uint32_t worker_node,
+  // Registers itself on the testbed's fabric; the testbed must outlive it.
+  RackSchedWorker(cluster::Testbed* testbed, size_t num_executors, uint32_t worker_node,
                   net::NodeId scheduler, TimeNs dispatch_overhead = TimeNs{3500},
                   TimeNs pickup_overhead = TimeNs{200},
                   IntraNodePolicy policy = IntraNodePolicy::kFcfs);

@@ -1,0 +1,36 @@
+// Deploys the RackSched baseline (the RackSchedProgram on a SwitchPipeline,
+// plus its two-layer workers) on a Testbed. Registered in the
+// DeploymentRegistry (cluster/deployment.cc).
+
+#ifndef DRACONIS_BASELINES_RACKSCHED_DEPLOYMENT_H_
+#define DRACONIS_BASELINES_RACKSCHED_DEPLOYMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/racksched.h"
+#include "cluster/deployment.h"
+#include "p4/pipeline.h"
+
+namespace draconis::baselines {
+
+class RackSchedDeployment : public cluster::SchedulerDeployment {
+ public:
+  explicit RackSchedDeployment(const cluster::ExperimentConfig& config);
+
+  void Build(cluster::Testbed& testbed) override;
+  void WireWorkers(cluster::Testbed& testbed) override;
+  void ConfigureClient(cluster::ClientConfig& client) override;
+  void Harvest(cluster::ExperimentResult& result) override;
+
+ private:
+  std::unique_ptr<RackSchedProgram> program_;
+  std::unique_ptr<p4::SwitchPipeline> pipeline_;
+  std::vector<std::unique_ptr<RackSchedWorker>> workers_;
+};
+
+cluster::DeploymentInfo RackSchedDeploymentInfo();
+
+}  // namespace draconis::baselines
+
+#endif  // DRACONIS_BASELINES_RACKSCHED_DEPLOYMENT_H_

@@ -7,12 +7,13 @@
 
 namespace draconis::baselines {
 
-SparrowScheduler::SparrowScheduler(sim::Simulator* simulator, net::Network* network,
-                                   const SparrowConfig& config)
-    : simulator_(simulator), network_(network), config_(config), rng_(config.seed) {
-  DRACONIS_CHECK(simulator != nullptr && network != nullptr);
+SparrowScheduler::SparrowScheduler(cluster::Testbed* testbed, const SparrowConfig& config)
+    : simulator_(&testbed->simulator()),
+      network_(&testbed->network()),
+      config_(config),
+      rng_(config.seed) {
   DRACONIS_CHECK(config.probe_ratio >= 1);
-  node_id_ = network->Register(this, SparrowConfig::Profile());
+  node_id_ = network_->Register(this, SparrowConfig::Profile());
 }
 
 void SparrowScheduler::HandlePacket(net::Packet pkt) {
@@ -93,17 +94,16 @@ void SparrowScheduler::HandleGetTask(const net::Packet& pkt) {
   }
 }
 
-SparrowWorker::SparrowWorker(sim::Simulator* simulator, net::Network* network,
-                             cluster::MetricsHub* metrics, size_t num_executors,
+SparrowWorker::SparrowWorker(cluster::Testbed* testbed, size_t num_executors,
                              uint32_t worker_node, TimeNs pickup_overhead)
-    : simulator_(simulator),
-      network_(network),
-      metrics_(metrics),
+    : simulator_(&testbed->simulator()),
+      network_(&testbed->network()),
+      metrics_(testbed->metrics()),
       worker_node_(worker_node),
       pickup_overhead_(pickup_overhead) {
-  DRACONIS_CHECK(simulator != nullptr && network != nullptr && metrics != nullptr);
+  DRACONIS_CHECK(metrics_ != nullptr);
   DRACONIS_CHECK(num_executors >= 1);
-  node_id_ = network->Register(this, SparrowConfig::Profile());
+  node_id_ = network_->Register(this, SparrowConfig::Profile());
   core_busy_.assign(num_executors, false);
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cluster/metrics.h"
+#include "cluster/testbed.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "net/network.h"
@@ -53,8 +54,8 @@ struct SparrowCounters {
 
 class SparrowScheduler : public net::Endpoint {
  public:
-  SparrowScheduler(sim::Simulator* simulator, net::Network* network,
-                   const SparrowConfig& config);
+  // Registers itself on the testbed's fabric; the testbed must outlive it.
+  SparrowScheduler(cluster::Testbed* testbed, const SparrowConfig& config);
 
   net::NodeId node_id() const { return node_id_; }
 
@@ -94,8 +95,8 @@ class SparrowScheduler : public net::Endpoint {
 // binding's price).
 class SparrowWorker : public net::Endpoint {
  public:
-  SparrowWorker(sim::Simulator* simulator, net::Network* network,
-                cluster::MetricsHub* metrics, size_t num_executors, uint32_t worker_node,
+  // Registers itself on the testbed's fabric; the testbed must outlive it.
+  SparrowWorker(cluster::Testbed* testbed, size_t num_executors, uint32_t worker_node,
                 TimeNs pickup_overhead = TimeNs{200});
 
   net::NodeId node_id() const { return node_id_; }

@@ -1,0 +1,35 @@
+// Deploys the Sparrow baseline (one or more batch-sampling schedulers plus
+// their late-binding workers) on a Testbed. The only multi-scheduler kind:
+// num_schedulers > 1 replicates the scheduler and spreads clients across the
+// replicas. Registered in the DeploymentRegistry (cluster/deployment.cc).
+
+#ifndef DRACONIS_BASELINES_SPARROW_DEPLOYMENT_H_
+#define DRACONIS_BASELINES_SPARROW_DEPLOYMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/sparrow.h"
+#include "cluster/deployment.h"
+
+namespace draconis::baselines {
+
+class SparrowDeployment : public cluster::SchedulerDeployment {
+ public:
+  explicit SparrowDeployment(const cluster::ExperimentConfig& config);
+
+  void Build(cluster::Testbed& testbed) override;
+  void WireWorkers(cluster::Testbed& testbed) override;
+  void ConfigureClient(cluster::ClientConfig& client) override;
+  void Harvest(cluster::ExperimentResult& result) override;
+
+ private:
+  std::vector<std::unique_ptr<SparrowScheduler>> schedulers_;
+  std::vector<std::unique_ptr<SparrowWorker>> workers_;
+};
+
+cluster::DeploymentInfo SparrowDeploymentInfo();
+
+}  // namespace draconis::baselines
+
+#endif  // DRACONIS_BASELINES_SPARROW_DEPLOYMENT_H_

@@ -7,18 +7,17 @@
 
 namespace draconis::cluster {
 
-Client::Client(sim::Simulator* simulator, net::Network* network, MetricsHub* metrics,
-               const ClientConfig& config)
-    : simulator_(simulator),
-      network_(network),
-      metrics_(metrics),
-      recorder_(config.recorder),
+Client::Client(Testbed* testbed, const ClientConfig& config)
+    : simulator_(&testbed->simulator()),
+      network_(&testbed->network()),
+      metrics_(testbed->metrics()),
+      recorder_(testbed->recorder()),
       config_(config) {
-  DRACONIS_CHECK(simulator != nullptr && network != nullptr && metrics != nullptr);
+  DRACONIS_CHECK(metrics_ != nullptr);
   if (config_.max_tasks_per_packet == 0) {
     config_.max_tasks_per_packet = net::MaxTasksPerPacket();
   }
-  node_id_ = network->Register(this, config.host_profile);
+  node_id_ = network_->Register(this, config.host_profile);
 }
 
 uint32_t Client::SubmitJob(const std::vector<TaskSpec>& specs) {

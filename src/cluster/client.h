@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/metrics.h"
+#include "cluster/testbed.h"
 #include "net/network.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
@@ -34,14 +35,13 @@ struct ClientConfig {
   // tracking, no timeouts, errors ignored.
   bool fire_and_forget = false;
   net::HostProfile host_profile = net::HostProfile::Dpdk(TimeNs{150});
-  // Optional task-lifecycle recorder (nullable; never affects behaviour).
-  trace::Recorder* recorder = nullptr;
 };
 
 class Client : public net::Endpoint {
  public:
-  Client(sim::Simulator* simulator, net::Network* network, MetricsHub* metrics,
-         const ClientConfig& config);
+  // Registers itself on the testbed's fabric; records into its metrics hub
+  // and (when tracing) its recorder. The testbed must outlive the client.
+  Client(Testbed* testbed, const ClientConfig& config);
 
   net::NodeId node_id() const { return node_id_; }
 

@@ -1,0 +1,147 @@
+#include "cluster/deployment.h"
+
+#include <cctype>
+#include <utility>
+
+#include "baselines/central_server_deployment.h"
+#include "baselines/r2p2_deployment.h"
+#include "baselines/racksched_deployment.h"
+#include "baselines/sparrow_deployment.h"
+#include "common/check.h"
+#include "core/draconis_deployment.h"
+
+namespace draconis::cluster {
+
+namespace {
+
+std::string AsciiLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PullBasedDeployment
+// ---------------------------------------------------------------------------
+
+uint32_t PullBasedDeployment::ExecPropsFor(size_t worker) const {
+  switch (config().policy) {
+    case PolicyKind::kLocality:
+      return static_cast<uint32_t>(worker);
+    case PolicyKind::kResource:
+      DRACONIS_CHECK_MSG(worker < config().worker_resources.size(),
+                         "resource policy needs worker_resources for every worker");
+      return config().worker_resources[worker];
+    default:
+      return 0;
+  }
+}
+
+void PullBasedDeployment::WireWorkers(Testbed& testbed) {
+  DRACONIS_CHECK_MSG(!scheduler_nodes_.empty(), "WireWorkers before Build");
+  const ExperimentConfig& cfg = config();
+  executors_.reserve(cfg.num_workers * cfg.executors_per_worker);
+  for (size_t w = 0; w < cfg.num_workers; ++w) {
+    for (size_t e = 0; e < cfg.executors_per_worker; ++e) {
+      ExecutorConfig ec = cfg.executor_template;
+      ec.worker_node = static_cast<uint32_t>(w);
+      ec.exec_props = ExecPropsFor(w);
+      ec.drop_tasks = cfg.noop_executors;
+      if (cfg.locality_access_model) {
+        ec.topology = &testbed.topology();
+      }
+      executors_.push_back(std::make_unique<Executor>(&testbed, ec));
+    }
+  }
+  // Stagger the initial pulls so the fleet doesn't arrive in lockstep.
+  for (size_t i = 0; i < executors_.size(); ++i) {
+    executors_[i]->Start(scheduler_nodes_[0], static_cast<TimeNs>(1 + i * 211));
+  }
+}
+
+uint64_t PullBasedDeployment::DecisionCount(Testbed& testbed) const {
+  uint64_t total = testbed.metrics()->total_node_completions();
+  for (const auto& ex : executors_) {
+    total += ex->tasks_executed();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// DeploymentRegistry
+// ---------------------------------------------------------------------------
+
+DeploymentRegistry::DeploymentRegistry() {
+  // Registration order == SchedulerKind enumeration order; Info() depends on
+  // it. Static self-registration would be dead-stripped out of the static
+  // library, so the kinds are aggregated explicitly here.
+  infos_.push_back(core::DraconisDeploymentInfo());
+  infos_.push_back(baselines::DpdkServerDeploymentInfo());
+  infos_.push_back(baselines::SocketServerDeploymentInfo());
+  infos_.push_back(baselines::R2P2DeploymentInfo());
+  infos_.push_back(baselines::RackSchedDeploymentInfo());
+  infos_.push_back(baselines::SparrowDeploymentInfo());
+  for (size_t i = 0; i < infos_.size(); ++i) {
+    DRACONIS_CHECK_MSG(static_cast<size_t>(infos_[i].kind) == i,
+                       "registry order must match the SchedulerKind enum");
+  }
+}
+
+const DeploymentRegistry& DeploymentRegistry::Get() {
+  static const DeploymentRegistry registry;
+  return registry;
+}
+
+const DeploymentInfo& DeploymentRegistry::Info(SchedulerKind kind) const {
+  const size_t index = static_cast<size_t>(kind);
+  DRACONIS_CHECK(index < infos_.size());
+  return infos_[index];
+}
+
+const DeploymentInfo* DeploymentRegistry::FindByName(const std::string& name) const {
+  const std::string lower = AsciiLower(name);
+  for (const DeploymentInfo& info : infos_) {
+    if (lower == AsciiLower(info.canonical_name) || lower == info.flag_name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> DeploymentRegistry::FlagChoices() const {
+  std::vector<std::string> choices;
+  choices.reserve(infos_.size());
+  for (const DeploymentInfo& info : infos_) {
+    choices.push_back(info.flag_name);
+  }
+  return choices;
+}
+
+std::unique_ptr<SchedulerDeployment> DeploymentRegistry::Make(
+    const ExperimentConfig& config) const {
+  return Info(config.scheduler).make(config);
+}
+
+// ---------------------------------------------------------------------------
+// Registry-backed name round trips (declared in experiment.h)
+// ---------------------------------------------------------------------------
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  return DeploymentRegistry::Get().Info(kind).canonical_name;
+}
+
+bool SchedulerKindFromName(const std::string& name, SchedulerKind* out) {
+  DRACONIS_CHECK(out != nullptr);
+  const DeploymentInfo* info = DeploymentRegistry::Get().FindByName(name);
+  if (info == nullptr) {
+    return false;
+  }
+  *out = info->kind;
+  return true;
+}
+
+}  // namespace draconis::cluster

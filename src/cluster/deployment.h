@@ -1,0 +1,141 @@
+// The scheduler-deployment seam.
+//
+// A SchedulerDeployment packages everything that is specific to one
+// SchedulerKind — how the scheduler is constructed on a Testbed, how its
+// worker side is wired, which client quirks it needs, and how its counters
+// are harvested — behind one interface, so RunExperiment stays a kind-blind
+// orchestrator and adding a scheduler means adding one deployment file pair
+// next to the scheduler (see DESIGN.md §"Testbed & deployments").
+//
+// Deployments register in the DeploymentRegistry, which is the single source
+// of truth for scheduler-kind names (SchedulerKindName/FromName), the bench
+// --scheduler flag choices, the policies each kind honors, and the factory
+// RunExperiment resolves kinds through.
+
+#ifndef DRACONIS_CLUSTER_DEPLOYMENT_H_
+#define DRACONIS_CLUSTER_DEPLOYMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client.h"
+#include "cluster/executor.h"
+#include "cluster/experiment.h"
+#include "cluster/testbed.h"
+#include "net/network.h"
+
+namespace draconis::cluster {
+
+// One scheduler kind deployed on a testbed. Lifecycle (driven by
+// RunExperiment, in order): Build -> WireWorkers -> ConfigureClient (once per
+// client) -> [simulation runs] -> Harvest.
+class SchedulerDeployment {
+ public:
+  virtual ~SchedulerDeployment() = default;
+
+  // Constructs the scheduler component(s) and registers them on the fabric.
+  // Must leave at least one address in scheduler_nodes().
+  virtual void Build(Testbed& testbed) = 0;
+
+  // Constructs and wires the worker side (pull-based executor fleets or the
+  // baselines' push-based worker endpoints).
+  virtual void WireWorkers(Testbed& testbed) = 0;
+
+  // Applies kind-specific client quirks (packetization, host profile).
+  // `client` arrives pre-filled with the kind-agnostic settings.
+  virtual void ConfigureClient(ClientConfig& client) { (void)client; }
+
+  // Copies the scheduler's counters into the flat result aggregate (and, for
+  // switch-hosted kinds, the pipeline counters).
+  virtual void Harvest(ExperimentResult& result) { (void)result; }
+
+  // Scheduling decisions made so far — the quantity the no-op throughput
+  // benches (Fig. 5b) delta across the measurement window. Defaults to
+  // completed executions; pull-based kinds add the tasks their no-op
+  // executors dropped.
+  virtual uint64_t DecisionCount(Testbed& testbed) const {
+    return testbed.metrics()->total_node_completions();
+  }
+
+  // Fabric addresses of the scheduler instances; clients are assigned
+  // round-robin across them.
+  const std::vector<net::NodeId>& scheduler_nodes() const { return scheduler_nodes_; }
+
+ protected:
+  explicit SchedulerDeployment(const ExperimentConfig& config) : config_(&config) {}
+
+  const ExperimentConfig& config() const { return *config_; }
+
+  std::vector<net::NodeId> scheduler_nodes_;
+
+ private:
+  const ExperimentConfig* config_;
+};
+
+// Shared worker side of the pull-based kinds (the Draconis switch and the
+// central servers): one Executor per worker core, started with staggered
+// initial pulls toward the primary scheduler address.
+class PullBasedDeployment : public SchedulerDeployment {
+ public:
+  void WireWorkers(Testbed& testbed) override;
+  uint64_t DecisionCount(Testbed& testbed) const override;
+
+ protected:
+  using SchedulerDeployment::SchedulerDeployment;
+
+ private:
+  // The policy-specific executor property word (EXEC_RSRC bitmap for the
+  // resource policy, the worker-node id for locality).
+  uint32_t ExecPropsFor(size_t worker) const;
+
+  std::vector<std::unique_ptr<Executor>> executors_;
+};
+
+using DeploymentFactory =
+    std::function<std::unique_ptr<SchedulerDeployment>(const ExperimentConfig&)>;
+
+// Registry metadata for one scheduler kind.
+struct DeploymentInfo {
+  SchedulerKind kind;
+  // Canonical display name ("Draconis", "R2P2", ...). Parsed
+  // case-insensitively by SchedulerKindFromName.
+  const char* canonical_name;
+  // The --scheduler flag spelling ("draconis", "dpdk-server", ...).
+  const char* flag_name;
+  // PolicyKinds this kind honors; any other policy is a config error.
+  std::vector<PolicyKind> policies;
+  // Whether num_schedulers > 1 deploys replicated instances (Sparrow).
+  bool multi_scheduler = false;
+  DeploymentFactory make;
+};
+
+class DeploymentRegistry {
+ public:
+  // The process-wide registry, built once from the per-scheduler
+  // registration functions.
+  static const DeploymentRegistry& Get();
+
+  // Registration order, which is also the canonical enumeration order.
+  const std::vector<DeploymentInfo>& all() const { return infos_; }
+
+  const DeploymentInfo& Info(SchedulerKind kind) const;
+
+  // Case-insensitive lookup by canonical or flag name; nullptr when unknown.
+  const DeploymentInfo* FindByName(const std::string& name) const;
+
+  // The --scheduler flag spellings, in registration order.
+  std::vector<std::string> FlagChoices() const;
+
+  std::unique_ptr<SchedulerDeployment> Make(const ExperimentConfig& config) const;
+
+ private:
+  DeploymentRegistry();
+
+  std::vector<DeploymentInfo> infos_;
+};
+
+}  // namespace draconis::cluster
+
+#endif  // DRACONIS_CLUSTER_DEPLOYMENT_H_

@@ -8,19 +8,18 @@
 
 namespace draconis::cluster {
 
-Executor::Executor(sim::Simulator* simulator, net::Network* network, MetricsHub* metrics,
-                   const ExecutorConfig& config)
-    : simulator_(simulator),
-      network_(network),
-      metrics_(metrics),
-      recorder_(config.recorder),
+Executor::Executor(Testbed* testbed, const ExecutorConfig& config)
+    : simulator_(&testbed->simulator()),
+      network_(&testbed->network()),
+      metrics_(testbed->metrics()),
+      recorder_(testbed->recorder()),
       config_(config),
       rng_(config.worker_node * 1000003ULL + config.exec_props + 17),
       retry_interval_(config.initial_retry) {
-  DRACONIS_CHECK(simulator != nullptr && network != nullptr && metrics != nullptr);
-  node_id_ = network->Register(this, config.host_profile);
-  pull_timer_.Bind(simulator, [this] { SendRequest(); });
-  fetch_timer_.Bind(simulator, [this] {
+  DRACONIS_CHECK(metrics_ != nullptr);
+  node_id_ = network_->Register(this, config.host_profile);
+  pull_timer_.Bind(simulator_, [this] { SendRequest(); });
+  fetch_timer_.Bind(simulator_, [this] {
     if (fetch_pending_) {
       SendParamFetch();  // the fetch or its reply was lost
     }

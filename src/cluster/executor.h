@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "cluster/metrics.h"
+#include "cluster/testbed.h"
 #include "common/rng.h"
 #include "core/topology.h"
 #include "net/network.h"
@@ -54,16 +55,13 @@ struct ExecutorConfig {
   bool drop_tasks = false;
 
   net::HostProfile host_profile = net::HostProfile::Dpdk(TimeNs{150});
-
-  // Optional task-lifecycle recorder (nullable; never affects behaviour).
-  trace::Recorder* recorder = nullptr;
 };
 
 class Executor : public net::Endpoint {
  public:
-  // Registers itself on the network. All pointers must outlive the executor.
-  Executor(sim::Simulator* simulator, net::Network* network, MetricsHub* metrics,
-           const ExecutorConfig& config);
+  // Registers itself on the testbed's fabric. The testbed must outlive the
+  // executor.
+  Executor(Testbed* testbed, const ExecutorConfig& config);
 
   net::NodeId node_id() const { return node_id_; }
 

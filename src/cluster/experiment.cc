@@ -1,70 +1,20 @@
 #include "cluster/experiment.h"
 
-#include <algorithm>
 #include <cctype>
+#include <string>
 #include <utility>
 
-#include "baselines/central_server.h"
-#include "baselines/r2p2.h"
-#include "baselines/racksched.h"
-#include "baselines/sparrow.h"
 #include "cluster/client.h"
+#include "cluster/deployment.h"
+#include "cluster/feeder.h"
+#include "cluster/testbed.h"
 #include "common/check.h"
-#include "core/draconis_program.h"
-#include "core/topology.h"
 #include "sim/simulator.h"
 #include "workload/generators.h"
 
 namespace draconis::cluster {
 
 namespace {
-
-// Incremental arrival feeder: schedules one event at a time so huge job
-// streams don't materialize as a million queued closures.
-class Feeder {
- public:
-  Feeder(sim::Simulator* simulator, const workload::JobStream* stream,
-         std::vector<Client*> clients)
-      : simulator_(simulator), stream_(stream), clients_(std::move(clients)) {}
-
-  void Start() { ScheduleNext(); }
-  bool done() const { return next_ >= stream_->size(); }
-
- private:
-  void ScheduleNext() {
-    if (done()) {
-      return;
-    }
-    simulator_->At((*stream_)[next_].at, [this] { Fire(); });
-  }
-
-  void Fire() {
-    const workload::JobArrival& job = (*stream_)[next_];
-    clients_[rr_ % clients_.size()]->SubmitJob(job.tasks);
-    ++rr_;
-    ++next_;
-    ScheduleNext();
-  }
-
-  sim::Simulator* simulator_;
-  const workload::JobStream* stream_;
-  std::vector<Client*> clients_;
-  size_t next_ = 0;
-  size_t rr_ = 0;
-};
-
-uint32_t ExecPropsFor(const ExperimentConfig& config, size_t worker) {
-  switch (config.policy) {
-    case PolicyKind::kLocality:
-      return static_cast<uint32_t>(worker);
-    case PolicyKind::kResource:
-      DRACONIS_CHECK_MSG(worker < config.worker_resources.size(),
-                         "resource policy needs worker_resources for every worker");
-      return config.worker_resources[worker];
-    default:
-      return 0;
-  }
-}
 
 std::string AsciiLower(const std::string& s) {
   std::string out = s;
@@ -74,51 +24,11 @@ std::string AsciiLower(const std::string& s) {
   return out;
 }
 
+TimeNs EffectiveHorizon(const ExperimentConfig& config, TimeNs last_arrival) {
+  return config.horizon > 0 ? config.horizon : last_arrival + FromMillis(50);
+}
+
 }  // namespace
-
-const char* SchedulerKindName(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kDraconis:
-      return "Draconis";
-    case SchedulerKind::kDraconisDpdkServer:
-      return "Draconis-DPDK-Server";
-    case SchedulerKind::kDraconisSocketServer:
-      return "Draconis-Socket-Server";
-    case SchedulerKind::kR2P2:
-      return "R2P2";
-    case SchedulerKind::kRackSched:
-      return "RackSched";
-    case SchedulerKind::kSparrow:
-      return "Sparrow";
-  }
-  return "unknown";
-}
-
-bool SchedulerKindFromName(const std::string& name, SchedulerKind* out) {
-  DRACONIS_CHECK(out != nullptr);
-  static constexpr SchedulerKind kAll[] = {
-      SchedulerKind::kDraconis,           SchedulerKind::kDraconisDpdkServer,
-      SchedulerKind::kDraconisSocketServer, SchedulerKind::kR2P2,
-      SchedulerKind::kRackSched,          SchedulerKind::kSparrow,
-  };
-  const std::string lower = AsciiLower(name);
-  for (SchedulerKind kind : kAll) {
-    if (lower == AsciiLower(SchedulerKindName(kind))) {
-      *out = kind;
-      return true;
-    }
-  }
-  // Short flag spellings.
-  if (lower == "dpdk-server") {
-    *out = SchedulerKind::kDraconisDpdkServer;
-    return true;
-  }
-  if (lower == "socket-server") {
-    *out = SchedulerKind::kDraconisSocketServer;
-    return true;
-  }
-  return false;
-}
 
 const char* PolicyKindName(PolicyKind kind) {
   switch (kind) {
@@ -146,186 +56,79 @@ bool PolicyKindFromName(const std::string& name, PolicyKind* out) {
   return false;
 }
 
+std::string ExperimentConfig::Validate() const {
+  if (num_workers < 1) {
+    return "num_workers must be >= 1";
+  }
+  if (executors_per_worker < 1) {
+    return "executors_per_worker must be >= 1";
+  }
+  if (num_clients < 1) {
+    return "num_clients must be >= 1";
+  }
+  if (num_schedulers < 1) {
+    return "num_schedulers must be >= 1";
+  }
+
+  const DeploymentInfo& info = DeploymentRegistry::Get().Info(scheduler);
+  if (num_schedulers > 1 && !info.multi_scheduler) {
+    return std::string(info.canonical_name) +
+           " deploys a single scheduler; num_schedulers > 1 is only valid for "
+           "multi-scheduler kinds (Sparrow)";
+  }
+  bool policy_supported = false;
+  for (PolicyKind p : info.policies) {
+    policy_supported = policy_supported || p == policy;
+  }
+  if (!policy_supported) {
+    return std::string(info.canonical_name) + " ignores policy '" +
+           PolicyKindName(policy) + "'; it only supports its own scheduling discipline";
+  }
+  if (policy == PolicyKind::kResource && worker_resources.size() < num_workers) {
+    return "resource policy needs a worker_resources bitmap for every worker (" +
+           std::to_string(worker_resources.size()) + " given, " +
+           std::to_string(num_workers) + " workers)";
+  }
+
+  const TimeNs last_arrival = stream.empty() ? 0 : stream.back().at;
+  if (warmup >= EffectiveHorizon(*this, last_arrival)) {
+    return "warmup must end before the horizon (warmup=" + std::to_string(warmup) +
+           " ns, horizon=" + std::to_string(EffectiveHorizon(*this, last_arrival)) + " ns)";
+  }
+  return "";
+}
+
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  DRACONIS_CHECK(config.num_workers >= 1 && config.executors_per_worker >= 1);
-  DRACONIS_CHECK(config.num_clients >= 1);
+  const std::string error = config.Validate();
+  DRACONIS_CHECK_MSG(error.empty(), "invalid ExperimentConfig: " + error);
 
   const workload::JobStream& stream = config.stream;
   const TimeNs last_arrival = stream.empty() ? 0 : stream.back().at;
-  const TimeNs horizon =
-      config.horizon > 0 ? config.horizon : last_arrival + FromMillis(50);
-  DRACONIS_CHECK_MSG(config.warmup < horizon, "warmup must end before the horizon");
+  const TimeNs horizon = EffectiveHorizon(config, last_arrival);
 
-  sim::Simulator simulator;
-  net::NetworkConfig net_config = config.network;
-  net_config.seed = config.seed * 7919 + 1;
-  net::Network network(&simulator, net_config);
-
-  // Task-lifecycle tracing: one recorder threaded through every layer.
-  // Sampling is deterministic in the task id, so this cannot change results.
-  std::unique_ptr<trace::Recorder> recorder;
-  if (config.trace.enabled) {
-    recorder = std::make_unique<trace::Recorder>(config.trace);
-    network.SetRecorder(recorder.get());
-  }
-
-  const size_t total_executors = config.num_workers * config.executors_per_worker;
-  const size_t priority_tracking =
+  TestbedConfig tc;
+  tc.seed = config.seed;
+  tc.num_workers = config.num_workers;
+  tc.num_racks = config.num_racks;
+  tc.warmup = config.warmup;
+  tc.horizon = horizon;
+  tc.priority_levels =
       config.policy == PolicyKind::kPriority ? config.priority_levels : 0;
-  auto metrics = std::make_unique<MetricsHub>(config.warmup, horizon, config.num_workers,
-                                              priority_tracking, config.node_series_bucket);
+  tc.node_series_bucket = config.node_series_bucket;
+  tc.network = config.network;
+  tc.trace = config.trace;
+  Testbed testbed(tc);
+  sim::Simulator& simulator = testbed.simulator();
 
-  core::Topology topology = core::Topology::Uniform(config.num_workers, config.num_racks);
+  // Kind-specific construction lives entirely in the deployment: scheduler
+  // first, then workers, then clients (registration order fixes fabric
+  // NodeIds, which the determinism goldens pin).
+  std::unique_ptr<SchedulerDeployment> deployment = DeploymentRegistry::Get().Make(config);
+  deployment->Build(testbed);
+  deployment->WireWorkers(testbed);
+  const std::vector<net::NodeId>& scheduler_nodes = deployment->scheduler_nodes();
+  DRACONIS_CHECK_MSG(!scheduler_nodes.empty(), "deployment built no scheduler");
 
-  // --- Scheduler construction ------------------------------------------------
-  std::unique_ptr<core::SchedulingPolicy> policy;
-  std::unique_ptr<core::DraconisProgram> draconis_program;
-  std::unique_ptr<baselines::R2P2Program> r2p2_program;
-  std::unique_ptr<baselines::RackSchedProgram> racksched_program;
-  std::unique_ptr<p4::SwitchPipeline> pipeline;
-  std::unique_ptr<baselines::CentralServerScheduler> server;
-  std::vector<std::unique_ptr<baselines::SparrowScheduler>> sparrow_schedulers;
-
-  std::vector<net::NodeId> scheduler_nodes;
-
-  switch (config.scheduler) {
-    case SchedulerKind::kDraconis: {
-      switch (config.policy) {
-        case PolicyKind::kFcfs:
-          policy = std::make_unique<core::FcfsPolicy>();
-          break;
-        case PolicyKind::kPriority:
-          policy = std::make_unique<core::PriorityPolicy>(config.priority_levels);
-          break;
-        case PolicyKind::kResource:
-          policy = std::make_unique<core::ResourcePolicy>();
-          break;
-        case PolicyKind::kLocality:
-          policy = std::make_unique<core::LocalityPolicy>(&topology, config.locality_limits);
-          break;
-      }
-      core::DraconisConfig dc;
-      dc.queue_capacity = config.queue_capacity;
-      dc.shadow_copy_dequeue = config.shadow_copy_dequeue;
-      dc.parallel_priority_stages = config.parallel_priority_stages;
-      draconis_program = std::make_unique<core::DraconisProgram>(policy.get(), dc);
-      draconis_program->SetRecorder(recorder.get());
-      pipeline =
-          std::make_unique<p4::SwitchPipeline>(&simulator, draconis_program.get(), config.pipeline);
-      scheduler_nodes.push_back(pipeline->AttachNetwork(&network));
-      break;
-    }
-    case SchedulerKind::kDraconisDpdkServer:
-    case SchedulerKind::kDraconisSocketServer: {
-      baselines::CentralServerConfig sc;
-      sc.transport = config.scheduler == SchedulerKind::kDraconisDpdkServer
-                         ? baselines::CentralServerConfig::Transport::kDpdk
-                         : baselines::CentralServerConfig::Transport::kSocket;
-      server = std::make_unique<baselines::CentralServerScheduler>(&simulator, &network, sc);
-      server->SetRecorder(recorder.get());
-      scheduler_nodes.push_back(server->node_id());
-      break;
-    }
-    case SchedulerKind::kR2P2: {
-      baselines::R2P2Config rc;
-      rc.num_executors = total_executors;
-      rc.jbsq_k = config.jbsq_k;
-      r2p2_program = std::make_unique<baselines::R2P2Program>(rc);
-      pipeline =
-          std::make_unique<p4::SwitchPipeline>(&simulator, r2p2_program.get(), config.pipeline);
-      scheduler_nodes.push_back(pipeline->AttachNetwork(&network));
-      break;
-    }
-    case SchedulerKind::kRackSched: {
-      baselines::RackSchedConfig rc;
-      rc.num_nodes = config.num_workers;
-      rc.seed = config.seed * 31 + 5;
-      racksched_program = std::make_unique<baselines::RackSchedProgram>(rc);
-      pipeline = std::make_unique<p4::SwitchPipeline>(&simulator, racksched_program.get(),
-                                                      config.pipeline);
-      scheduler_nodes.push_back(pipeline->AttachNetwork(&network));
-      break;
-    }
-    case SchedulerKind::kSparrow: {
-      baselines::SparrowConfig sc;
-      for (size_t s = 0; s < std::max<size_t>(1, config.num_schedulers); ++s) {
-        sc.seed = config.seed * 131 + s;
-        sparrow_schedulers.push_back(
-            std::make_unique<baselines::SparrowScheduler>(&simulator, &network, sc));
-        scheduler_nodes.push_back(sparrow_schedulers.back()->node_id());
-      }
-      break;
-    }
-  }
-
-  if (pipeline != nullptr) {
-    pipeline->SetRecorder(recorder.get());
-  }
-
-  // --- Workers / executors ---------------------------------------------------
-  std::vector<std::unique_ptr<Executor>> executors;
-  std::vector<std::unique_ptr<baselines::R2P2Worker>> r2p2_workers;
-  std::vector<std::unique_ptr<baselines::RackSchedWorker>> racksched_workers;
-  std::vector<std::unique_ptr<baselines::SparrowWorker>> sparrow_workers;
-
-  const bool pull_based = config.scheduler == SchedulerKind::kDraconis ||
-                          config.scheduler == SchedulerKind::kDraconisDpdkServer ||
-                          config.scheduler == SchedulerKind::kDraconisSocketServer;
-
-  if (pull_based) {
-    executors.reserve(total_executors);
-    for (size_t w = 0; w < config.num_workers; ++w) {
-      for (size_t e = 0; e < config.executors_per_worker; ++e) {
-        ExecutorConfig ec = config.executor_template;
-        ec.worker_node = static_cast<uint32_t>(w);
-        ec.exec_props = ExecPropsFor(config, w);
-        ec.drop_tasks = config.noop_executors;
-        if (config.locality_access_model) {
-          ec.topology = &topology;
-        }
-        ec.recorder = recorder.get();
-        executors.push_back(std::make_unique<Executor>(&simulator, &network, metrics.get(), ec));
-      }
-    }
-    // Stagger the initial pulls so the fleet doesn't arrive in lockstep.
-    for (size_t i = 0; i < executors.size(); ++i) {
-      executors[i]->Start(scheduler_nodes[0], static_cast<TimeNs>(1 + i * 211));
-    }
-  } else if (config.scheduler == SchedulerKind::kR2P2) {
-    for (size_t w = 0; w < config.num_workers; ++w) {
-      std::vector<size_t> slots;
-      for (size_t e = 0; e < config.executors_per_worker; ++e) {
-        slots.push_back(w * config.executors_per_worker + e);
-      }
-      r2p2_workers.push_back(std::make_unique<baselines::R2P2Worker>(
-          &simulator, &network, metrics.get(), slots, static_cast<uint32_t>(w),
-          scheduler_nodes[0]));
-      for (size_t slot : slots) {
-        r2p2_program->BindExecutor(slot, r2p2_workers.back()->node_id());
-      }
-    }
-  } else if (config.scheduler == SchedulerKind::kRackSched) {
-    for (size_t w = 0; w < config.num_workers; ++w) {
-      racksched_workers.push_back(std::make_unique<baselines::RackSchedWorker>(
-          &simulator, &network, metrics.get(), config.executors_per_worker,
-          static_cast<uint32_t>(w), scheduler_nodes[0], TimeNs{3500}, TimeNs{200},
-          config.racksched_intra_policy));
-      racksched_program->BindNode(w, racksched_workers.back()->node_id());
-    }
-  } else {  // Sparrow
-    std::vector<net::NodeId> worker_nodes;
-    for (size_t w = 0; w < config.num_workers; ++w) {
-      sparrow_workers.push_back(std::make_unique<baselines::SparrowWorker>(
-          &simulator, &network, metrics.get(), config.executors_per_worker,
-          static_cast<uint32_t>(w)));
-      worker_nodes.push_back(sparrow_workers.back()->node_id());
-    }
-    for (auto& scheduler : sparrow_schedulers) {
-      scheduler->SetWorkers(worker_nodes);
-    }
-  }
-
-  // --- Clients ----------------------------------------------------------------
   std::vector<std::unique_ptr<Client>> clients;
   std::vector<Client*> client_ptrs;
   for (size_t c = 0; c < config.num_clients; ++c) {
@@ -336,45 +139,34 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     cc.fire_and_forget = config.noop_executors;
     if (config.max_tasks_per_packet > 0) {
       cc.max_tasks_per_packet = config.max_tasks_per_packet;
-    } else if (config.scheduler == SchedulerKind::kR2P2 ||
-               config.scheduler == SchedulerKind::kRackSched) {
-      cc.max_tasks_per_packet = 1;  // these route one RPC per packet
     }
-    if (config.scheduler == SchedulerKind::kSparrow) {
-      cc.host_profile = baselines::SparrowConfig::Profile();
-    }
-    cc.recorder = recorder.get();
-    clients.push_back(std::make_unique<Client>(&simulator, &network, metrics.get(), cc));
+    deployment->ConfigureClient(cc);
+    clients.push_back(std::make_unique<Client>(&testbed, cc));
     clients.back()->SetScheduler(scheduler_nodes[c % scheduler_nodes.size()]);
     client_ptrs.push_back(clients.back().get());
   }
 
-  Feeder feeder(&simulator, &stream, client_ptrs);
+  Feeder feeder(&simulator, &stream, client_ptrs.size(),
+                [&client_ptrs](size_t client, const std::vector<workload::TaskSpec>& tasks) {
+                  client_ptrs[client]->SubmitJob(tasks);
+                });
   feeder.Start();
 
-  // No-op throughput accounting: snapshot decision counts at the window
-  // edges (executor pulls for pull-based kinds, worker completions for
-  // push-based ones).
-  uint64_t pulls_at_warmup = 0;
-  uint64_t pulls_at_end = 0;
+  // No-op throughput accounting: snapshot the deployment's decision count at
+  // the window edges (executor pulls for pull-based kinds, worker
+  // completions for push-based ones).
+  uint64_t decisions_at_warmup = 0;
+  uint64_t decisions_at_end = 0;
   if (config.noop_executors) {
-    const auto count_decisions = [&] {
-      uint64_t total = metrics->total_node_completions();
-      for (const auto& ex : executors) {
-        total += ex->tasks_executed();
-      }
-      return total;
-    };
-    simulator.At(config.warmup, [&] { pulls_at_warmup = count_decisions(); });
-    simulator.At(horizon, [&] { pulls_at_end = count_decisions(); });
+    simulator.At(config.warmup,
+                 [&] { decisions_at_warmup = deployment->DecisionCount(testbed); });
+    simulator.At(horizon, [&] { decisions_at_end = deployment->DecisionCount(testbed); });
   }
 
   ExperimentResult result;
 
   // Poll for drain; once everything is done, drop the remaining events
-  // (idle executor polling would otherwise run forever). A reusable timer
-  // whose callback re-arms it replaces the old heap-allocated
-  // self-referencing closure.
+  // (idle executor polling would otherwise run forever).
   sim::Timer drain_check;
   if (config.run_to_completion) {
     const TimeNs poll = FromMillis(10);
@@ -395,55 +187,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   simulator.RunUntil(horizon + config.drain_margin);
 
-  if (recorder != nullptr) {
-    recorder->FinalizeAt(simulator.Now());
-    result.trace = std::move(recorder);
+  if (testbed.recorder() != nullptr) {
+    testbed.recorder()->FinalizeAt(simulator.Now());
+    result.trace = testbed.TakeRecorder();
   }
 
-  // --- Harvest -----------------------------------------------------------------
-  if (pipeline != nullptr) {
-    result.switch_counters = pipeline->counters();
-    result.recirculation_share = result.switch_counters.RecirculationShare();
-    result.recirc_drops = result.switch_counters.recirc_drops;
-  }
-  if (draconis_program != nullptr) {
-    const core::DraconisCounters& c = draconis_program->counters();
-    result.counters.tasks_enqueued = c.tasks_enqueued;
-    result.counters.tasks_assigned = c.tasks_assigned;
-    result.counters.noops_sent = c.noops_sent;
-    result.counters.queue_full_errors = c.queue_full_errors;
-    result.counters.acks_sent = c.acks_sent;
-    result.counters.add_repairs = c.add_repairs;
-    result.counters.retrieve_repairs = c.retrieve_repairs;
-    result.counters.swap_walks_started = c.swap_walks_started;
-    result.counters.swap_exchanges = c.swap_exchanges;
-    result.counters.swap_requeues = c.swap_requeues;
-    result.counters.priority_probes = c.priority_probes;
-  }
-  if (r2p2_program != nullptr) {
-    const baselines::R2P2Counters& c = r2p2_program->counters();
-    result.counters.tasks_pushed = c.tasks_pushed;
-    result.counters.credit_wait_recirculations = c.credit_wait_recirculations;
-    result.counters.credits = c.credits;
-  }
-  if (racksched_program != nullptr) {
-    const baselines::RackSchedCounters& c = racksched_program->counters();
-    result.counters.tasks_pushed = c.tasks_pushed;
-    result.counters.credits = c.credits;
-  }
-  for (const auto& s : sparrow_schedulers) {
-    result.counters.probes_sent += s->counters().probes_sent;
-    result.counters.tasks_launched += s->counters().tasks_launched;
-    result.counters.empty_get_tasks += s->counters().empty_get_tasks;
-  }
-  if (server != nullptr) {
-    const baselines::CentralServerCounters& c = server->counters();
-    result.counters.tasks_enqueued = c.tasks_enqueued;
-    result.counters.tasks_assigned = c.tasks_assigned;
-    result.counters.parked_requests = c.parked_requests;
-    result.counters.queue_full_errors = c.queue_full_errors;
-  }
+  deployment->Harvest(result);
 
+  MetricsHub* metrics = testbed.metrics();
+  const size_t total_executors = config.num_workers * config.executors_per_worker;
   const size_t offered_tasks = workload::TotalTasks(stream);
   const double stream_seconds = last_arrival > 0 ? ToSeconds(last_arrival) : 1.0;
   result.offered_tasks_per_second = static_cast<double>(offered_tasks) / stream_seconds;
@@ -459,7 +211,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   const double window_seconds = ToSeconds(horizon - config.warmup);
   if (config.noop_executors) {
     result.throughput_tps =
-        static_cast<double>(pulls_at_end - pulls_at_warmup) / window_seconds;
+        static_cast<double>(decisions_at_end - decisions_at_warmup) / window_seconds;
   } else {
     result.throughput_tps = metrics->CompletionThroughput();
   }
@@ -467,7 +219,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       static_cast<double>(metrics->total_busy()) /
       (static_cast<double>(horizon - config.warmup) * static_cast<double>(total_executors));
 
-  result.metrics = std::move(metrics);
+  result.metrics = testbed.TakeMetrics();
   return result;
 }
 

@@ -1,13 +1,19 @@
-// One-call experiment harness: builds a simulated testbed (network, a
-// scheduler of the chosen kind, workers/executors, clients), replays a
-// generated job stream, and harvests metrics. Every figure-reproduction
-// bench in bench/ is a thin sweep over RunExperiment (see src/sweep/ for the
-// parallel sweep engine that drives it).
+// One-call experiment harness. RunExperiment is a kind-blind orchestrator:
+// it builds a cluster::Testbed (cluster/testbed.h) from the config, resolves
+// the configured SchedulerKind through the DeploymentRegistry
+// (cluster/deployment.h) into a SchedulerDeployment — which owns all
+// kind-specific construction, wiring, client quirks, and counter harvest —
+// replays the generated job stream through round-robin clients, and derives
+// the summary statistics. Every figure-reproduction bench in bench/ is a
+// thin sweep over RunExperiment (see src/sweep/ for the parallel sweep
+// engine that drives it).
 //
 // This header is the public experiment API: it deliberately avoids the
 // per-scheduler baseline headers (their counters are flattened into
 // SchedulerCounters) so that adding or reworking a scheduler does not ripple
-// through every bench TU.
+// through every bench TU. Adding a scheduler kind means adding one
+// deployment file pair next to the scheduler and one registry line — see
+// DESIGN.md ("Testbed & deployments").
 
 #ifndef DRACONIS_CLUSTER_EXPERIMENT_H_
 #define DRACONIS_CLUSTER_EXPERIMENT_H_
@@ -98,6 +104,13 @@ struct ExperimentConfig {
   // Task-lifecycle tracing (docs/observability.md). Sampling is a pure hash
   // of the task id, so enabling it cannot perturb results.
   trace::TraceConfig trace{};
+
+  // Checks the config for contradictions the simulation would otherwise hide
+  // (zero-sized cluster, a policy the chosen scheduler silently ignores, a
+  // short worker_resources table, replicating a single-instance scheduler, a
+  // warmup past the horizon). Returns an empty string when valid, a
+  // descriptive error otherwise. RunExperiment refuses invalid configs.
+  std::string Validate() const;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,36 @@
+#include "cluster/feeder.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace draconis::cluster {
+
+Feeder::Feeder(sim::Simulator* simulator, const workload::JobStream* stream,
+               size_t num_clients, Sink sink)
+    : simulator_(simulator),
+      stream_(stream),
+      num_clients_(num_clients),
+      sink_(std::move(sink)) {
+  DRACONIS_CHECK(simulator != nullptr && stream != nullptr);
+  DRACONIS_CHECK(num_clients >= 1);
+  DRACONIS_CHECK(sink_ != nullptr);
+}
+
+void Feeder::Start() { ScheduleNext(); }
+
+void Feeder::ScheduleNext() {
+  if (done()) {
+    return;
+  }
+  simulator_->At((*stream_)[next_].at, [this] { Fire(); });
+}
+
+void Feeder::Fire() {
+  const workload::JobArrival& job = (*stream_)[next_];
+  sink_(next_ % num_clients_, job.tasks);
+  ++next_;
+  ScheduleNext();
+}
+
+}  // namespace draconis::cluster

@@ -1,0 +1,36 @@
+#include "cluster/testbed.h"
+
+#include "common/check.h"
+
+namespace draconis::cluster {
+
+Testbed::Testbed(const TestbedConfig& config)
+    : config_(config),
+      topology_(core::Topology::Uniform(config.num_workers, config.num_racks)) {
+  if (config_.trace.enabled) {
+    recorder_ = std::make_unique<trace::Recorder>(config_.trace);
+  }
+  net::NetworkConfig net_config = config_.network;
+  net_config.seed = SeedFor(SeedDomain::kNetwork);
+  network_ = std::make_unique<net::Network>(&simulator_, net_config);
+  network_->SetRecorder(recorder_.get());
+  metrics_ = std::make_unique<MetricsHub>(config_.warmup, config_.horizon, config_.num_workers,
+                                          config_.priority_levels, config_.node_series_bucket);
+}
+
+uint64_t Testbed::SeedFor(SeedDomain domain, uint64_t index) const {
+  // The multipliers predate the Testbed; keeping them bit-identical keeps
+  // every pinned golden and published EXPERIMENTS.md number valid.
+  switch (domain) {
+    case SeedDomain::kNetwork:
+      return config_.seed * 7919 + 1;
+    case SeedDomain::kRackSched:
+      return config_.seed * 31 + 5;
+    case SeedDomain::kSparrow:
+      return config_.seed * 131 + index;
+  }
+  DRACONIS_CHECK_MSG(false, "unknown seed domain");
+  return config_.seed;
+}
+
+}  // namespace draconis::cluster

@@ -1,0 +1,68 @@
+#include "core/draconis_deployment.h"
+
+#include <utility>
+
+namespace draconis::core {
+
+DraconisDeployment::DraconisDeployment(const cluster::ExperimentConfig& config)
+    : cluster::PullBasedDeployment(config) {}
+
+void DraconisDeployment::Build(cluster::Testbed& testbed) {
+  const cluster::ExperimentConfig& cfg = config();
+  switch (cfg.policy) {
+    case cluster::PolicyKind::kFcfs:
+      policy_ = std::make_unique<FcfsPolicy>();
+      break;
+    case cluster::PolicyKind::kPriority:
+      policy_ = std::make_unique<PriorityPolicy>(cfg.priority_levels);
+      break;
+    case cluster::PolicyKind::kResource:
+      policy_ = std::make_unique<ResourcePolicy>();
+      break;
+    case cluster::PolicyKind::kLocality:
+      policy_ = std::make_unique<LocalityPolicy>(&testbed.topology(), cfg.locality_limits);
+      break;
+  }
+  DraconisConfig dc;
+  dc.queue_capacity = cfg.queue_capacity;
+  dc.shadow_copy_dequeue = cfg.shadow_copy_dequeue;
+  dc.parallel_priority_stages = cfg.parallel_priority_stages;
+  program_ = std::make_unique<DraconisProgram>(policy_.get(), dc);
+  program_->SetRecorder(testbed.recorder());
+  pipeline_ = std::make_unique<p4::SwitchPipeline>(testbed, program_.get(), cfg.pipeline);
+  scheduler_nodes_.push_back(pipeline_->node_id());
+}
+
+void DraconisDeployment::Harvest(cluster::ExperimentResult& result) {
+  result.switch_counters = pipeline_->counters();
+  result.recirculation_share = result.switch_counters.RecirculationShare();
+  result.recirc_drops = result.switch_counters.recirc_drops;
+
+  const DraconisCounters& c = program_->counters();
+  result.counters.tasks_enqueued = c.tasks_enqueued;
+  result.counters.tasks_assigned = c.tasks_assigned;
+  result.counters.noops_sent = c.noops_sent;
+  result.counters.queue_full_errors = c.queue_full_errors;
+  result.counters.acks_sent = c.acks_sent;
+  result.counters.add_repairs = c.add_repairs;
+  result.counters.retrieve_repairs = c.retrieve_repairs;
+  result.counters.swap_walks_started = c.swap_walks_started;
+  result.counters.swap_exchanges = c.swap_exchanges;
+  result.counters.swap_requeues = c.swap_requeues;
+  result.counters.priority_probes = c.priority_probes;
+}
+
+cluster::DeploymentInfo DraconisDeploymentInfo() {
+  cluster::DeploymentInfo info;
+  info.kind = cluster::SchedulerKind::kDraconis;
+  info.canonical_name = "Draconis";
+  info.flag_name = "draconis";
+  info.policies = {cluster::PolicyKind::kFcfs, cluster::PolicyKind::kPriority,
+                   cluster::PolicyKind::kResource, cluster::PolicyKind::kLocality};
+  info.make = [](const cluster::ExperimentConfig& config) {
+    return std::make_unique<DraconisDeployment>(config);
+  };
+  return info;
+}
+
+}  // namespace draconis::core

@@ -1,0 +1,35 @@
+// Deploys the Draconis in-network scheduler (the DraconisProgram on a
+// SwitchPipeline, plus the pull-based executor fleet) on a Testbed. Lives
+// next to the scheduler it deploys; registered in the DeploymentRegistry
+// (cluster/deployment.cc).
+
+#ifndef DRACONIS_CORE_DRACONIS_DEPLOYMENT_H_
+#define DRACONIS_CORE_DRACONIS_DEPLOYMENT_H_
+
+#include <memory>
+
+#include "cluster/deployment.h"
+#include "core/draconis_program.h"
+#include "core/policy.h"
+#include "p4/pipeline.h"
+
+namespace draconis::core {
+
+class DraconisDeployment : public cluster::PullBasedDeployment {
+ public:
+  explicit DraconisDeployment(const cluster::ExperimentConfig& config);
+
+  void Build(cluster::Testbed& testbed) override;
+  void Harvest(cluster::ExperimentResult& result) override;
+
+ private:
+  std::unique_ptr<SchedulingPolicy> policy_;
+  std::unique_ptr<DraconisProgram> program_;
+  std::unique_ptr<p4::SwitchPipeline> pipeline_;
+};
+
+cluster::DeploymentInfo DraconisDeploymentInfo();
+
+}  // namespace draconis::core
+
+#endif  // DRACONIS_CORE_DRACONIS_DEPLOYMENT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "cluster/testbed.h"
 #include "common/check.h"
 
 namespace draconis::p4 {
@@ -19,6 +20,13 @@ void PassContext::Recirculate(net::Packet pkt, bool guaranteed) {
 
 void PassContext::Drop(const net::Packet& pkt, const std::string& reason) {
   pipeline_->DropFromPass(pkt, reason);
+}
+
+SwitchPipeline::SwitchPipeline(cluster::Testbed& testbed, SwitchProgram* program,
+                               const PipelineConfig& config)
+    : SwitchPipeline(&testbed.simulator(), program, config) {
+  SetRecorder(testbed.recorder());
+  AttachNetwork(&testbed.network());
 }
 
 SwitchPipeline::SwitchPipeline(sim::Simulator* simulator, SwitchProgram* program,

@@ -29,6 +29,10 @@
 #include "sim/simulator.h"
 #include "trace/recorder.h"
 
+namespace draconis::cluster {
+class Testbed;
+}  // namespace draconis::cluster
+
 namespace draconis::p4 {
 
 class SwitchPipeline;
@@ -118,6 +122,12 @@ struct PipelineCounters {
 
 class SwitchPipeline : public net::Endpoint {
  public:
+  // Deploys the pipeline on a testbed: registers on its fabric (becoming the
+  // fabric's switch node) and picks up its recorder. The testbed and the
+  // program must outlive the pipeline.
+  SwitchPipeline(cluster::Testbed& testbed, SwitchProgram* program, const PipelineConfig& config);
+
+  // Low-level form for switch-layer unit tests that run without a testbed.
   // The program must outlive the pipeline. Call AttachNetwork before any
   // traffic arrives.
   SwitchPipeline(sim::Simulator* simulator, SwitchProgram* program,

@@ -12,6 +12,7 @@
 #include "baselines/racksched.h"
 #include "baselines/sparrow.h"
 #include "cluster/metrics.h"
+#include "cluster/testbed.h"
 #include "net/network.h"
 #include "p4/pipeline.h"
 #include "sim/simulator.h"
@@ -53,33 +54,30 @@ class R2P2Test : public ::testing::Test {
     config.jbsq_k = k;
     config.selection_staleness = staleness;
     program = std::make_unique<R2P2Program>(config);
-    network = std::make_unique<net::Network>(&simulator, net::NetworkConfig{});
-    pipeline = std::make_unique<p4::SwitchPipeline>(&simulator, program.get(),
+    pipeline = std::make_unique<p4::SwitchPipeline>(testbed, program.get(),
                                                     p4::PipelineConfig{});
-    switch_node = pipeline->AttachNetwork(network.get());
-    metrics = std::make_unique<cluster::MetricsHub>(0, FromSeconds(1));
+    switch_node = pipeline->node_id();
     std::vector<size_t> slots(executors);
     for (size_t i = 0; i < executors; ++i) {
       slots[i] = i;
     }
-    worker = std::make_unique<R2P2Worker>(&simulator, network.get(), metrics.get(), slots,
-                                          0, switch_node);
+    worker = std::make_unique<R2P2Worker>(&testbed, slots, 0, switch_node);
     for (size_t i = 0; i < executors; ++i) {
       program->BindExecutor(i, worker->node_id());
     }
-    client_node = network->Register(&client, net::HostProfile::Wire());
+    client_node = network.Register(&client, net::HostProfile::Wire());
   }
 
   void Submit(net::Packet p) {
     p.dst = switch_node;
-    network->Send(client_node, std::move(p));
+    network.Send(client_node, std::move(p));
   }
 
-  sim::Simulator simulator;
+  cluster::Testbed testbed{cluster::TestbedConfig{}};
+  sim::Simulator& simulator = testbed.simulator();
+  net::Network& network = testbed.network();
   std::unique_ptr<R2P2Program> program;
-  std::unique_ptr<net::Network> network;
   std::unique_ptr<p4::SwitchPipeline> pipeline;
-  std::unique_ptr<cluster::MetricsHub> metrics;
   std::unique_ptr<R2P2Worker> worker;
   Probe client;
   net::NodeId switch_node = net::kInvalidNode;
@@ -159,34 +157,34 @@ TEST_F(R2P2Test, MultiTaskPacketIsRejected) {
 
 class RackSchedTest : public ::testing::Test {
  protected:
-  void Build(size_t nodes, size_t executors_per_node) {
+  void Build(size_t nodes, size_t executors_per_node,
+             IntraNodePolicy policy = IntraNodePolicy::kFcfs) {
     RackSchedConfig config;
     config.num_nodes = nodes;
     program = std::make_unique<RackSchedProgram>(config);
-    network = std::make_unique<net::Network>(&simulator, net::NetworkConfig{});
-    pipeline = std::make_unique<p4::SwitchPipeline>(&simulator, program.get(),
+    pipeline = std::make_unique<p4::SwitchPipeline>(testbed, program.get(),
                                                     p4::PipelineConfig{});
-    switch_node = pipeline->AttachNetwork(network.get());
-    metrics = std::make_unique<cluster::MetricsHub>(0, FromSeconds(1));
+    switch_node = pipeline->node_id();
     for (size_t n = 0; n < nodes; ++n) {
       workers.push_back(std::make_unique<RackSchedWorker>(
-          &simulator, network.get(), metrics.get(), executors_per_node,
-          static_cast<uint32_t>(n), switch_node));
+          &testbed, executors_per_node, static_cast<uint32_t>(n), switch_node,
+          TimeNs{3500}, TimeNs{200}, policy));
       program->BindNode(n, workers.back()->node_id());
     }
-    client_node = network->Register(&client, net::HostProfile::Wire());
+    client_node = network.Register(&client, net::HostProfile::Wire());
   }
 
   void Submit(net::Packet p) {
     p.dst = switch_node;
-    network->Send(client_node, std::move(p));
+    network.Send(client_node, std::move(p));
   }
 
-  sim::Simulator simulator;
+  cluster::Testbed testbed{cluster::TestbedConfig{}};
+  sim::Simulator& simulator = testbed.simulator();
+  net::Network& network = testbed.network();
+  cluster::MetricsHub* metrics = testbed.metrics();
   std::unique_ptr<RackSchedProgram> program;
-  std::unique_ptr<net::Network> network;
   std::unique_ptr<p4::SwitchPipeline> pipeline;
-  std::unique_ptr<cluster::MetricsHub> metrics;
   std::vector<std::unique_ptr<RackSchedWorker>> workers;
   Probe client;
   net::NodeId switch_node = net::kInvalidNode;
@@ -225,41 +223,11 @@ TEST_F(RackSchedTest, PowerOfTwoSpreadsLoadAcrossNodes) {
   EXPECT_LT(max_len, 2 * 64 / 4 + 2);
 }
 
-class RackSchedPsTest : public ::testing::Test {
+class RackSchedPsTest : public RackSchedTest {
  protected:
   void Build(size_t nodes, size_t executors_per_node) {
-    RackSchedConfig config;
-    config.num_nodes = nodes;
-    program = std::make_unique<RackSchedProgram>(config);
-    network = std::make_unique<net::Network>(&simulator, net::NetworkConfig{});
-    pipeline = std::make_unique<p4::SwitchPipeline>(&simulator, program.get(),
-                                                    p4::PipelineConfig{});
-    switch_node = pipeline->AttachNetwork(network.get());
-    metrics = std::make_unique<cluster::MetricsHub>(0, FromSeconds(10));
-    for (size_t n = 0; n < nodes; ++n) {
-      workers.push_back(std::make_unique<RackSchedWorker>(
-          &simulator, network.get(), metrics.get(), executors_per_node,
-          static_cast<uint32_t>(n), switch_node, TimeNs{3500}, TimeNs{200},
-          IntraNodePolicy::kProcessorSharing));
-      program->BindNode(n, workers.back()->node_id());
-    }
-    client_node = network->Register(&client, net::HostProfile::Wire());
+    RackSchedTest::Build(nodes, executors_per_node, IntraNodePolicy::kProcessorSharing);
   }
-
-  void Submit(net::Packet p) {
-    p.dst = switch_node;
-    network->Send(client_node, std::move(p));
-  }
-
-  sim::Simulator simulator;
-  std::unique_ptr<RackSchedProgram> program;
-  std::unique_ptr<net::Network> network;
-  std::unique_ptr<p4::SwitchPipeline> pipeline;
-  std::unique_ptr<cluster::MetricsHub> metrics;
-  std::vector<std::unique_ptr<RackSchedWorker>> workers;
-  Probe client;
-  net::NodeId switch_node = net::kInvalidNode;
-  net::NodeId client_node = net::kInvalidNode;
 };
 
 TEST_F(RackSchedPsTest, SingleTaskRunsAtFullSpeed) {
@@ -317,19 +285,15 @@ TEST_F(RackSchedTest, DispatchOverheadDelaysExecution) {
 class SparrowTest : public ::testing::Test {
  protected:
   void Build(size_t num_workers, size_t executors_per_node) {
-    network = std::make_unique<net::Network>(&simulator, net::NetworkConfig{});
-    scheduler = std::make_unique<SparrowScheduler>(&simulator, network.get(),
-                                                   SparrowConfig{});
-    metrics = std::make_unique<cluster::MetricsHub>(0, FromSeconds(1));
+    scheduler = std::make_unique<SparrowScheduler>(&testbed, SparrowConfig{});
     std::vector<net::NodeId> nodes;
     for (size_t n = 0; n < num_workers; ++n) {
-      workers.push_back(std::make_unique<SparrowWorker>(&simulator, network.get(),
-                                                        metrics.get(), executors_per_node,
+      workers.push_back(std::make_unique<SparrowWorker>(&testbed, executors_per_node,
                                                         static_cast<uint32_t>(n)));
       nodes.push_back(workers.back()->node_id());
     }
     scheduler->SetWorkers(nodes);
-    client_node = network->Register(&client, net::HostProfile::Wire());
+    client_node = network.Register(&client, net::HostProfile::Wire());
   }
 
   net::Packet Job(uint32_t jid, size_t tasks, TimeNs duration = FromMicros(100)) {
@@ -348,10 +312,10 @@ class SparrowTest : public ::testing::Test {
     return p;
   }
 
-  sim::Simulator simulator;
-  std::unique_ptr<net::Network> network;
+  cluster::Testbed testbed{cluster::TestbedConfig{}};
+  sim::Simulator& simulator = testbed.simulator();
+  net::Network& network = testbed.network();
   std::unique_ptr<SparrowScheduler> scheduler;
-  std::unique_ptr<cluster::MetricsHub> metrics;
   std::vector<std::unique_ptr<SparrowWorker>> workers;
   Probe client;
   net::NodeId client_node = net::kInvalidNode;
@@ -359,20 +323,20 @@ class SparrowTest : public ::testing::Test {
 
 TEST_F(SparrowTest, ProbesAreTwicePerTask) {
   Build(8, 1);
-  network->Send(client_node, Job(1, 3));
+  network.Send(client_node, Job(1, 3));
   simulator.RunUntil(FromMicros(100));
   EXPECT_EQ(scheduler->counters().probes_sent, 6u);
 
   // Jobs larger than the cluster wrap around: every task still gets d
   // reservations so none can strand.
-  network->Send(client_node, Job(2, 10));
+  network.Send(client_node, Job(2, 10));
   simulator.RunUntil(FromMicros(200));
   EXPECT_EQ(scheduler->counters().probes_sent, 6u + 20u);
 }
 
 TEST_F(SparrowTest, AllTasksCompleteViaLateBinding) {
   Build(4, 2);
-  network->Send(client_node, Job(1, 6));
+  network.Send(client_node, Job(1, 6));
   simulator.RunAll();
   EXPECT_EQ(client.CountOf(net::OpCode::kCompletionNotice), 6u);
   EXPECT_EQ(scheduler->counters().tasks_launched, 6u);
@@ -380,7 +344,7 @@ TEST_F(SparrowTest, AllTasksCompleteViaLateBinding) {
 
 TEST_F(SparrowTest, ExcessReservationsAreCancelled) {
   Build(8, 4);
-  network->Send(client_node, Job(1, 4));  // 8 probes, 4 tasks
+  network.Send(client_node, Job(1, 4));  // 8 probes, 4 tasks
   simulator.RunAll();
   EXPECT_EQ(scheduler->counters().tasks_launched, 4u);
   EXPECT_EQ(scheduler->counters().empty_get_tasks, 4u);
@@ -391,9 +355,9 @@ TEST_F(SparrowTest, LateBindingPicksFreeWorkers) {
   // One worker is clogged with a long job; a second job's tasks must land on
   // the free workers that answer get_task first.
   Build(2, 1);
-  network->Send(client_node, Job(1, 2, FromMillis(50)));  // fills both workers
+  network.Send(client_node, Job(1, 2, FromMillis(50)));  // fills both workers
   simulator.RunUntil(FromMillis(1));
-  network->Send(client_node, Job(2, 1, FromMicros(100)));
+  network.Send(client_node, Job(2, 1, FromMicros(100)));
   simulator.RunAll();
   EXPECT_EQ(client.CountOf(net::OpCode::kCompletionNotice), 3u);
 }
@@ -403,24 +367,24 @@ TEST_F(SparrowTest, LateBindingPicksFreeWorkers) {
 class CentralServerTest : public ::testing::Test {
  protected:
   void Build(CentralServerConfig::Transport transport, size_t capacity = 1024) {
-    network = std::make_unique<net::Network>(&simulator, net::NetworkConfig{});
     CentralServerConfig config;
     config.transport = transport;
     config.queue_capacity = capacity;
-    server = std::make_unique<CentralServerScheduler>(&simulator, network.get(), config);
-    client_node = network->Register(&client, net::HostProfile::Wire());
-    executor_node = network->Register(&executor, net::HostProfile::Wire());
+    server = std::make_unique<CentralServerScheduler>(&testbed, config);
+    client_node = network.Register(&client, net::HostProfile::Wire());
+    executor_node = network.Register(&executor, net::HostProfile::Wire());
   }
 
   void SendRequest() {
     net::Packet p;
     p.op = net::OpCode::kTaskRequest;
     p.dst = server->node_id();
-    network->Send(executor_node, std::move(p));
+    network.Send(executor_node, std::move(p));
   }
 
-  sim::Simulator simulator;
-  std::unique_ptr<net::Network> network;
+  cluster::Testbed testbed{cluster::TestbedConfig{}};
+  sim::Simulator& simulator = testbed.simulator();
+  net::Network& network = testbed.network();
   std::unique_ptr<CentralServerScheduler> server;
   Probe client;
   Probe executor;
@@ -432,7 +396,7 @@ TEST_F(CentralServerTest, FcfsAssignment) {
   Build(CentralServerConfig::Transport::kDpdk);
   net::Packet job = Task(7);
   job.dst = server->node_id();
-  network->Send(client_node, std::move(job));
+  network.Send(client_node, std::move(job));
   simulator.RunUntil(FromMicros(50));
   SendRequest();
   simulator.RunAll();
@@ -449,7 +413,7 @@ TEST_F(CentralServerTest, ParksRequestsOnEmptyQueue) {
 
   net::Packet job = Task(1);
   job.dst = server->node_id();
-  network->Send(client_node, std::move(job));
+  network.Send(client_node, std::move(job));
   simulator.RunAll();
   EXPECT_EQ(executor.CountOf(net::OpCode::kTaskAssignment), 1u);
 }
@@ -460,7 +424,7 @@ TEST_F(CentralServerTest, FullQueueBouncesTasks) {
   job.tasks.push_back(job.tasks[0]);
   job.tasks[1].id.tid = 1;
   job.dst = server->node_id();
-  network->Send(client_node, std::move(job));
+  network.Send(client_node, std::move(job));
   simulator.RunAll();
   EXPECT_EQ(server->counters().tasks_enqueued, 1u);
   ASSERT_EQ(client.CountOf(net::OpCode::kErrorQueueFull), 1u);
@@ -468,18 +432,17 @@ TEST_F(CentralServerTest, FullQueueBouncesTasks) {
 
 TEST_F(CentralServerTest, SocketTransportIsSlowerPerPacket) {
   const auto run = [&](CentralServerConfig::Transport transport) {
-    sim::Simulator sim_local;
-    net::Network net_local(&sim_local, net::NetworkConfig{});
+    cluster::Testbed tb{cluster::TestbedConfig{}};
     CentralServerConfig config;
     config.transport = transport;
-    CentralServerScheduler srv(&sim_local, &net_local, config);
+    CentralServerScheduler srv(&tb, config);
     Probe probe;
-    const net::NodeId src = net_local.Register(&probe, net::HostProfile::Wire());
+    const net::NodeId src = tb.network().Register(&probe, net::HostProfile::Wire());
     net::Packet job = Task(0);
     job.dst = srv.node_id();
-    net_local.Send(src, std::move(job));
-    sim_local.RunAll();
-    return sim_local.Now();
+    tb.network().Send(src, std::move(job));
+    tb.simulator().RunAll();
+    return tb.simulator().Now();
   };
   EXPECT_GT(run(CentralServerConfig::Transport::kSocket),
             run(CentralServerConfig::Transport::kDpdk));

@@ -10,6 +10,7 @@
 #include "cluster/client.h"
 #include "cluster/executor.h"
 #include "cluster/metrics.h"
+#include "cluster/testbed.h"
 #include "core/draconis_program.h"
 #include "core/policy.h"
 #include "net/network.h"
@@ -107,19 +108,21 @@ TEST(MetricsHubTest, NodeCompletionTotals) {
 class ClientTest : public ::testing::Test {
  protected:
   ClientTest()
-      : network(&simulator, net::NetworkConfig{}),
-        metrics(0, FromSeconds(10)) {}
+      : simulator(testbed.simulator()),
+        network(testbed.network()),
+        metrics(*testbed.metrics()) {}
 
   Client& MakeClient(ClientConfig config = {}) {
-    client = std::make_unique<Client>(&simulator, &network, &metrics, config);
+    client = std::make_unique<Client>(&testbed, config);
     scheduler_node = network.Register(&scheduler, net::HostProfile::Wire());
     client->SetScheduler(scheduler_node);
     return *client;
   }
 
-  sim::Simulator simulator;
-  net::Network network;
-  MetricsHub metrics;
+  Testbed testbed{TestbedConfig{}};
+  sim::Simulator& simulator;
+  net::Network& network;
+  MetricsHub& metrics;
   std::unique_ptr<Client> client;
   Probe scheduler;
   net::NodeId scheduler_node = net::kInvalidNode;
@@ -258,24 +261,26 @@ TEST_F(ClientTest, ServesParamFetches) {
 class ExecutorTest : public ::testing::Test {
  protected:
   ExecutorTest()
-      : network(&simulator, net::NetworkConfig{}),
-        metrics(0, FromSeconds(10)),
+      : simulator(testbed.simulator()),
+        network(testbed.network()),
+        metrics(*testbed.metrics()),
         program(&policy, core::DraconisConfig{}),
-        pipeline(&simulator, &program, p4::PipelineConfig{}) {
-    switch_node = pipeline.AttachNetwork(&network);
-    client = std::make_unique<Client>(&simulator, &network, &metrics, ClientConfig{});
+        pipeline(testbed, &program, p4::PipelineConfig{}) {
+    switch_node = pipeline.node_id();
+    client = std::make_unique<Client>(&testbed, ClientConfig{});
     client->SetScheduler(switch_node);
   }
 
   Executor& MakeExecutor(ExecutorConfig config = {}) {
-    executor = std::make_unique<Executor>(&simulator, &network, &metrics, config);
+    executor = std::make_unique<Executor>(&testbed, config);
     executor->Start(switch_node, 1);
     return *executor;
   }
 
-  sim::Simulator simulator;
-  net::Network network;
-  MetricsHub metrics;
+  Testbed testbed{TestbedConfig{}};
+  sim::Simulator& simulator;
+  net::Network& network;
+  MetricsHub& metrics;
   core::FcfsPolicy policy;
   core::DraconisProgram program;
   p4::SwitchPipeline pipeline;
@@ -358,17 +363,18 @@ TEST_F(ExecutorTest, ParamFetchSurvivesLostData) {
 // ---------------------------------------------------------------------------
 
 TEST(FailoverTest, ClusterSurvivesSwitchFailure) {
-  sim::Simulator simulator;
-  net::Network network(&simulator, net::NetworkConfig{});
-  MetricsHub metrics(0, FromSeconds(10));
+  Testbed testbed{TestbedConfig{}};
+  sim::Simulator& simulator = testbed.simulator();
+  net::Network& network = testbed.network();
+  MetricsHub& metrics = *testbed.metrics();
 
   core::FcfsPolicy policy;
   core::DraconisConfig dc;
   core::DraconisProgram program_a(&policy, dc);
   core::DraconisProgram program_b(&policy, dc);
-  p4::SwitchPipeline switch_a(&simulator, &program_a, p4::PipelineConfig{});
+  p4::SwitchPipeline switch_a(testbed, &program_a, p4::PipelineConfig{});
   p4::SwitchPipeline switch_b(&simulator, &program_b, p4::PipelineConfig{});
-  const net::NodeId node_a = switch_a.AttachNetwork(&network);
+  const net::NodeId node_a = switch_a.node_id();
   const net::NodeId node_b = switch_b.AttachNetwork(&network);
   // (The fabric treats the most recently attached pipeline as the ToR for
   // hop accounting; immaterial for this test.)
@@ -377,12 +383,12 @@ TEST(FailoverTest, ClusterSurvivesSwitchFailure) {
   for (int i = 0; i < 4; ++i) {
     ExecutorConfig config;
     config.request_timeout = FromMicros(500);
-    executors.push_back(std::make_unique<Executor>(&simulator, &network, &metrics, config));
+    executors.push_back(std::make_unique<Executor>(&testbed, config));
     executors.back()->Start(node_a, 1 + i * 100);
   }
   ClientConfig cc;
   cc.timeout_multiplier = 3.0;
-  Client client(&simulator, &network, &metrics, cc);
+  Client client(&testbed, cc);
   client.SetScheduler(node_a);
 
   // Submit 16-task bursts (4 executors -> each burst queues deep); the

@@ -154,6 +154,48 @@ TEST(DeterminismTest, Fig05aShapedRunIsBitIdentical) {
   EXPECT_EQ(a.counters.noops_sent, b.counters.noops_sent);
 }
 
+// Pinned goldens: the Fig. 5a mini run, per scheduler kind, against numbers
+// captured from a known-good build. These freeze the whole deterministic
+// contract — fabric NodeId registration order (scheduler, then workers, then
+// clients), the SeedFor domain constants, and the event-engine ordering — so
+// any refactor that silently perturbs a stream shows up as a concrete diff
+// here, not as a drifted figure. Update the table only for an intentional
+// behaviour change, and say so in the commit message.
+struct SchedulerGolden {
+  cluster::SchedulerKind kind;
+  uint64_t completions;
+  TimeNs sched_p50;
+  TimeNs sched_p99;
+  TimeNs e2e_p50;
+  TimeNs e2e_p99;
+  double throughput_tps;
+};
+
+TEST(DeterminismTest, PinnedGoldensPerSchedulerKind) {
+  const SchedulerGolden goldens[] = {
+      {cluster::SchedulerKind::kDraconis, 130, 7679, 366517, 516095, 869596, 10000.0},
+      {cluster::SchedulerKind::kDraconisDpdkServer, 130, 13823, 18132, 523919, 523919,
+       10000.0},
+      {cluster::SchedulerKind::kDraconisSocketServer, 130, 31231, 44031, 557055, 557055,
+       10000.0},
+      {cluster::SchedulerKind::kR2P2, 130, 507903, 1004785, 1015807, 1507327, 10000.0},
+      {cluster::SchedulerKind::kRackSched, 130, 7551, 369897, 516095, 872611, 10000.0},
+      {cluster::SchedulerKind::kSparrow, 130, 24063, 393215, 540671, 899701, 10000.0},
+  };
+  for (const SchedulerGolden& golden : goldens) {
+    SCOPED_TRACE(cluster::SchedulerKindName(golden.kind));
+    cluster::ExperimentConfig config = Fig05aMiniConfig();
+    config.scheduler = golden.kind;
+    cluster::ExperimentResult result = RunExperiment(config);
+    EXPECT_EQ(result.metrics->tasks_completed(), golden.completions);
+    EXPECT_EQ(result.metrics->sched_delay().Percentile(0.50), golden.sched_p50);
+    EXPECT_EQ(result.metrics->sched_delay().Percentile(0.99), golden.sched_p99);
+    EXPECT_EQ(result.metrics->e2e_delay().Percentile(0.50), golden.e2e_p50);
+    EXPECT_EQ(result.metrics->e2e_delay().Percentile(0.99), golden.e2e_p99);
+    EXPECT_DOUBLE_EQ(result.throughput_tps, golden.throughput_tps);
+  }
+}
+
 // Tracing must be a pure observer: sampling is a hash of the task id (no
 // RNG, no scheduled events), so a traced run — at any sampling rate — is
 // bit-identical to an untraced one. Guards the recorder threading through

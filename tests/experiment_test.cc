@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "cluster/deployment.h"
 #include "cluster/experiment.h"
+#include "common/check.h"
 #include "workload/generators.h"
 
 namespace draconis::cluster {
@@ -171,6 +175,150 @@ TEST(ExperimentTest, PolicyKindNamesRoundTrip) {
   ASSERT_TRUE(PolicyKindFromName("FCFS", &parsed));
   EXPECT_EQ(parsed, PolicyKind::kFcfs);
   EXPECT_FALSE(PolicyKindFromName("round-robin", &parsed));
+}
+
+// --- ExperimentConfig::Validate ----------------------------------------------
+
+TEST(ValidateTest, AcceptsTheTinyConfig) {
+  EXPECT_EQ(TinyConfig().Validate(), "");
+}
+
+TEST(ValidateTest, RejectsZeroSizedCluster) {
+  ExperimentConfig config = TinyConfig();
+  config.num_workers = 0;
+  EXPECT_NE(config.Validate().find("num_workers"), std::string::npos);
+
+  config = TinyConfig();
+  config.executors_per_worker = 0;
+  EXPECT_NE(config.Validate().find("executors_per_worker"), std::string::npos);
+
+  config = TinyConfig();
+  config.num_clients = 0;
+  EXPECT_NE(config.Validate().find("num_clients"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsReplicatingSingleInstanceSchedulers) {
+  ExperimentConfig config = TinyConfig();
+  config.num_schedulers = 2;  // only Sparrow deploys replicas
+  const std::string error = config.Validate();
+  EXPECT_NE(error.find("num_schedulers"), std::string::npos) << error;
+
+  config.scheduler = SchedulerKind::kSparrow;
+  EXPECT_EQ(config.Validate(), "");
+}
+
+TEST(ValidateTest, RejectsPoliciesTheSchedulerIgnores) {
+  ExperimentConfig config = TinyConfig();
+  config.scheduler = SchedulerKind::kR2P2;
+  config.policy = PolicyKind::kPriority;
+  const std::string error = config.Validate();
+  EXPECT_NE(error.find("ignores policy"), std::string::npos) << error;
+  EXPECT_NE(error.find("R2P2"), std::string::npos) << error;
+
+  // Draconis honors every policy.
+  config.scheduler = SchedulerKind::kDraconis;
+  EXPECT_EQ(config.Validate(), "");
+}
+
+TEST(ValidateTest, RejectsShortResourceTable) {
+  ExperimentConfig config = TinyConfig();
+  config.policy = PolicyKind::kResource;
+  config.worker_resources = {0x1};  // 2 workers, 1 entry
+  const std::string error = config.Validate();
+  EXPECT_NE(error.find("worker_resources"), std::string::npos) << error;
+
+  config.worker_resources = {0x1, 0x2};
+  EXPECT_EQ(config.Validate(), "");
+}
+
+TEST(ValidateTest, RejectsWarmupPastTheHorizon) {
+  ExperimentConfig config = TinyConfig();
+  config.warmup = config.horizon;
+  const std::string error = config.Validate();
+  EXPECT_NE(error.find("warmup"), std::string::npos) << error;
+}
+
+TEST(ValidateTest, RunExperimentRefusesInvalidConfigs) {
+  ExperimentConfig config = TinyConfig();
+  config.num_workers = 0;
+  EXPECT_THROW(RunExperiment(config), draconis::CheckFailure);
+}
+
+// --- Deployment registry -----------------------------------------------------
+
+TEST(DeploymentRegistryTest, EnumeratesAllKindsInEnumOrder) {
+  const std::vector<DeploymentInfo>& infos = DeploymentRegistry::Get().all();
+  ASSERT_EQ(infos.size(), 6u);
+  for (size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_EQ(static_cast<size_t>(infos[i].kind), i);
+    EXPECT_STREQ(SchedulerKindName(infos[i].kind), infos[i].canonical_name);
+  }
+}
+
+TEST(DeploymentRegistryTest, FlagChoicesMatchRegistration) {
+  const std::vector<std::string> choices = DeploymentRegistry::Get().FlagChoices();
+  const std::vector<std::string> expected = {"draconis",  "dpdk-server", "socket-server",
+                                             "r2p2",      "racksched",   "sparrow"};
+  EXPECT_EQ(choices, expected);
+}
+
+TEST(DeploymentRegistryTest, FindByNameAcceptsCanonicalAndFlagSpellings) {
+  const DeploymentRegistry& registry = DeploymentRegistry::Get();
+  ASSERT_NE(registry.FindByName("Draconis-DPDK-Server"), nullptr);
+  EXPECT_EQ(registry.FindByName("Draconis-DPDK-Server")->kind,
+            SchedulerKind::kDraconisDpdkServer);
+  ASSERT_NE(registry.FindByName("dpdk-server"), nullptr);
+  EXPECT_EQ(registry.FindByName("dpdk-server")->kind, SchedulerKind::kDraconisDpdkServer);
+  EXPECT_EQ(registry.FindByName("mesos"), nullptr);
+}
+
+// Registry-driven smoke matrix: every registered kind (x every policy it
+// honors) pushes a tiny stream to completion and reports into the counter
+// fields that kind owns. A new scheduler registered in the DeploymentRegistry
+// is picked up here automatically.
+TEST(DeploymentRegistryTest, SmokeMatrixEveryKindCompletesAndHarvests) {
+  for (const DeploymentInfo& info : DeploymentRegistry::Get().all()) {
+    for (PolicyKind policy : info.policies) {
+      SCOPED_TRACE(std::string(info.canonical_name) + " / " + PolicyKindName(policy));
+      ExperimentConfig config = TinyConfig(20000.0);  // 25%: everything drains
+      config.scheduler = info.kind;
+      config.policy = policy;
+      if (policy == PolicyKind::kResource) {
+        config.worker_resources = {0x1, 0x1};  // every worker can run tprops=0
+      }
+      ExperimentResult result = RunExperiment(config);
+
+      EXPECT_GT(result.metrics->tasks_completed(), 0u);
+      EXPECT_GE(result.metrics->tasks_completed(),
+                result.metrics->tasks_submitted() * 9 / 10);
+      switch (info.kind) {
+        case SchedulerKind::kDraconis:
+          EXPECT_GT(result.counters.tasks_enqueued, 0u);
+          EXPECT_GT(result.counters.tasks_assigned, 0u);
+          EXPECT_GT(result.switch_counters.passes, 0u);
+          break;
+        case SchedulerKind::kDraconisDpdkServer:
+        case SchedulerKind::kDraconisSocketServer:
+          EXPECT_GT(result.counters.tasks_enqueued, 0u);
+          EXPECT_GT(result.counters.tasks_assigned, 0u);
+          break;
+        case SchedulerKind::kR2P2:
+          EXPECT_GT(result.counters.tasks_pushed, 0u);
+          EXPECT_GT(result.counters.credits, 0u);
+          EXPECT_GT(result.switch_counters.passes, 0u);
+          break;
+        case SchedulerKind::kRackSched:
+          EXPECT_GT(result.counters.tasks_pushed, 0u);
+          EXPECT_GT(result.counters.credits, 0u);
+          EXPECT_GT(result.switch_counters.passes, 0u);
+          break;
+        case SchedulerKind::kSparrow:
+          EXPECT_GT(result.counters.probes_sent, 0u);
+          EXPECT_GT(result.counters.tasks_launched, 0u);
+          break;
+      }
+    }
+  }
 }
 
 }  // namespace

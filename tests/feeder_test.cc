@@ -1,0 +1,109 @@
+// Unit tests for the arrival feeder: round-robin client assignment in
+// arrival order, one simulator event at a time, and graceful handling of an
+// empty stream.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "cluster/feeder.h"
+#include "common/check.h"
+#include "sim/simulator.h"
+#include "workload/spec.h"
+
+namespace draconis::cluster {
+namespace {
+
+workload::JobStream MakeStream(size_t jobs, TimeNs spacing = FromMicros(10)) {
+  workload::JobStream stream;
+  for (size_t j = 0; j < jobs; ++j) {
+    workload::JobArrival job;
+    job.at = static_cast<TimeNs>(j + 1) * spacing;
+    job.tasks.resize(j + 1);  // job j carries j+1 tasks: distinguishable sizes
+    for (workload::TaskSpec& t : job.tasks) {
+      t.duration = FromMicros(100);
+    }
+    stream.push_back(std::move(job));
+  }
+  return stream;
+}
+
+TEST(FeederTest, AssignsJobsRoundRobinInArrivalOrder) {
+  sim::Simulator simulator;
+  const workload::JobStream stream = MakeStream(7);
+  std::vector<std::pair<size_t, size_t>> fed;  // (client, tasks in job)
+  Feeder feeder(&simulator, &stream, 3,
+                [&fed](size_t client, const std::vector<workload::TaskSpec>& tasks) {
+                  fed.emplace_back(client, tasks.size());
+                });
+  EXPECT_FALSE(feeder.done());
+  feeder.Start();
+  simulator.RunAll();
+
+  ASSERT_EQ(fed.size(), 7u);
+  for (size_t j = 0; j < fed.size(); ++j) {
+    EXPECT_EQ(fed[j].first, j % 3) << "job " << j;
+    EXPECT_EQ(fed[j].second, j + 1) << "job " << j;
+  }
+  EXPECT_TRUE(feeder.done());
+  EXPECT_EQ(feeder.jobs_fed(), 7u);
+}
+
+TEST(FeederTest, DeliversJobsAtTheirArrivalTimes) {
+  sim::Simulator simulator;
+  const workload::JobStream stream = MakeStream(3, FromMicros(50));
+  std::vector<TimeNs> at;
+  Feeder feeder(&simulator, &stream, 1,
+                [&](size_t, const std::vector<workload::TaskSpec>&) {
+                  at.push_back(simulator.Now());
+                });
+  feeder.Start();
+  simulator.RunAll();
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], FromMicros(50));
+  EXPECT_EQ(at[1], FromMicros(100));
+  EXPECT_EQ(at[2], FromMicros(150));
+}
+
+TEST(FeederTest, EmptyStreamIsDoneImmediately) {
+  sim::Simulator simulator;
+  const workload::JobStream stream;
+  size_t calls = 0;
+  Feeder feeder(&simulator, &stream, 4,
+                [&calls](size_t, const std::vector<workload::TaskSpec>&) { ++calls; });
+  EXPECT_TRUE(feeder.done());
+  feeder.Start();  // must not schedule anything
+  simulator.RunAll();
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(feeder.jobs_fed(), 0u);
+  EXPECT_EQ(simulator.Now(), 0);
+}
+
+TEST(FeederTest, SingleClientTakesEveryJob) {
+  sim::Simulator simulator;
+  const workload::JobStream stream = MakeStream(5);
+  std::vector<size_t> clients;
+  Feeder feeder(&simulator, &stream, 1,
+                [&clients](size_t client, const std::vector<workload::TaskSpec>&) {
+                  clients.push_back(client);
+                });
+  feeder.Start();
+  simulator.RunAll();
+  ASSERT_EQ(clients.size(), 5u);
+  for (size_t client : clients) {
+    EXPECT_EQ(client, 0u);
+  }
+}
+
+TEST(FeederTest, RejectsZeroClients) {
+  sim::Simulator simulator;
+  const workload::JobStream stream = MakeStream(1);
+  EXPECT_THROW(Feeder(&simulator, &stream, 0,
+                      [](size_t, const std::vector<workload::TaskSpec>&) {}),
+               draconis::CheckFailure);
+}
+
+}  // namespace
+}  // namespace draconis::cluster

@@ -16,6 +16,7 @@
 #include "cluster/executor.h"
 #include "cluster/experiment.h"
 #include "cluster/metrics.h"
+#include "cluster/testbed.h"
 #include "core/draconis_program.h"
 #include "core/policy.h"
 #include "net/network.h"
@@ -299,24 +300,22 @@ TEST(TraceExperimentTest, DisabledTracingProducesNoRecorder) {
 // ---------------------------------------------------------------------------
 
 TEST(TraceFailureTest, TimeoutResubmissionTimelineShowsDuplicateSuppression) {
-  sim::Simulator simulator;
-  net::Network network(&simulator, net::NetworkConfig{});
-  cluster::MetricsHub metrics(0, FromSeconds(10));
-  TraceConfig tc;
-  tc.sample_period = 1;
-  Recorder recorder(tc);
-  network.SetRecorder(&recorder);
+  cluster::TestbedConfig tbc;
+  tbc.trace.enabled = true;
+  tbc.trace.sample_period = 1;
+  cluster::Testbed testbed(tbc);
+  sim::Simulator& simulator = testbed.simulator();
+  cluster::MetricsHub& metrics = *testbed.metrics();
+  Recorder& recorder = *testbed.recorder();
 
   core::FcfsPolicy policy;
   core::DraconisProgram program(&policy, core::DraconisConfig{});
   program.SetRecorder(&recorder);
-  p4::SwitchPipeline pipeline(&simulator, &program, p4::PipelineConfig{});
-  pipeline.SetRecorder(&recorder);
-  const net::NodeId switch_node = pipeline.AttachNetwork(&network);
+  p4::SwitchPipeline pipeline(testbed, &program, p4::PipelineConfig{});
+  const net::NodeId switch_node = pipeline.node_id();
 
   cluster::ExecutorConfig ec;
-  ec.recorder = &recorder;
-  cluster::Executor executor(&simulator, &network, &metrics, ec);
+  cluster::Executor executor(&testbed, ec);
   executor.Start(switch_node, 1);
 
   // A 500 us task with a 50 us client timeout (0.1x, clamped to the floor):
@@ -324,8 +323,7 @@ TEST(TraceFailureTest, TimeoutResubmissionTimelineShowsDuplicateSuppression) {
   // duplicate also runs and its completion notice must be suppressed.
   cluster::ClientConfig cc;
   cc.timeout_multiplier = 0.1;
-  cc.recorder = &recorder;
-  cluster::Client client(&simulator, &network, &metrics, cc);
+  cluster::Client client(&testbed, cc);
   client.SetScheduler(switch_node);
   cluster::TaskSpec spec;
   spec.duration = FromMicros(500);
@@ -382,13 +380,13 @@ TEST(TraceFailureTest, TimeoutResubmissionTimelineShowsDuplicateSuppression) {
 // ---------------------------------------------------------------------------
 
 TEST(TraceFailureTest, RehomingTimelineSpansSwitchFailover) {
-  sim::Simulator simulator;
-  net::Network network(&simulator, net::NetworkConfig{});
-  cluster::MetricsHub metrics(0, FromSeconds(10));
-  TraceConfig tc;
-  tc.sample_period = 1;
-  Recorder recorder(tc);
-  network.SetRecorder(&recorder);
+  cluster::TestbedConfig tbc;
+  tbc.trace.enabled = true;
+  tbc.trace.sample_period = 1;
+  cluster::Testbed testbed(tbc);
+  sim::Simulator& simulator = testbed.simulator();
+  net::Network& network = testbed.network();
+  Recorder& recorder = *testbed.recorder();
 
   core::FcfsPolicy policy;
   core::DraconisConfig dc;
@@ -396,26 +394,22 @@ TEST(TraceFailureTest, RehomingTimelineSpansSwitchFailover) {
   core::DraconisProgram program_b(&policy, dc);
   program_a.SetRecorder(&recorder);
   program_b.SetRecorder(&recorder);
-  p4::SwitchPipeline switch_a(&simulator, &program_a, p4::PipelineConfig{});
+  p4::SwitchPipeline switch_a(testbed, &program_a, p4::PipelineConfig{});
   p4::SwitchPipeline switch_b(&simulator, &program_b, p4::PipelineConfig{});
-  switch_a.SetRecorder(&recorder);
   switch_b.SetRecorder(&recorder);
-  const net::NodeId node_a = switch_a.AttachNetwork(&network);
+  const net::NodeId node_a = switch_a.node_id();
   const net::NodeId node_b = switch_b.AttachNetwork(&network);
 
   std::vector<std::unique_ptr<cluster::Executor>> executors;
   for (int i = 0; i < 4; ++i) {
     cluster::ExecutorConfig config;
     config.request_timeout = FromMicros(500);
-    config.recorder = &recorder;
-    executors.push_back(
-        std::make_unique<cluster::Executor>(&simulator, &network, &metrics, config));
+    executors.push_back(std::make_unique<cluster::Executor>(&testbed, config));
     executors.back()->Start(node_a, 1 + i * 100);
   }
   cluster::ClientConfig cc;
   cc.timeout_multiplier = 3.0;
-  cc.recorder = &recorder;
-  cluster::Client client(&simulator, &network, &metrics, cc);
+  cluster::Client client(&testbed, cc);
   client.SetScheduler(node_a);
 
   for (int burst = 0; burst < 10; ++burst) {
