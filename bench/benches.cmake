@@ -4,6 +4,7 @@
 set(DRACONIS_BENCH_LIBS
   draconis_sweep
   draconis_cluster
+  draconis_fault
   draconis_baselines
   draconis_core
   draconis_workload
@@ -33,6 +34,7 @@ draconis_add_bench(fig10_locality)
 draconis_add_bench(fig11_resource)
 draconis_add_bench(fig12_priority)
 draconis_add_bench(fig13_gettask_overhead)
+draconis_add_bench(fig14_failover)
 draconis_add_bench(tab_efficiency)
 draconis_add_bench(tab_capacity)
 draconis_add_bench(tab_ablation)

@@ -22,6 +22,7 @@
 #include "cluster/deployment.h"
 #include "cluster/experiment.h"
 #include "common/flags.h"
+#include "fault/plan.h"
 #include "sweep/report.h"
 #include "sweep/sweep.h"
 #include "trace/export.h"
@@ -170,10 +171,32 @@ class SweepRunner {
                      "trace 1-in-N tasks by deterministic id hash (1 = every task)");
     parser_.AddString("trace-dir", &trace_dir_,
                       "directory for <bench>_<point>_{trace,attribution}.json outputs");
+    parser_.AddString("fault-plan", &fault_plan_path_,
+                      "apply this JSON fault plan to every sweep point "
+                      "(docs/fault_injection.md)");
   }
 
   flags::Parser& parser() { return parser_; }
   TimeNs horizon() const { return horizon_; }
+  bool has_fault_plan() const { return !fault_plan_path_.empty(); }
+
+  // Loads the --fault-plan file (exits on parse errors) and disowns it, so
+  // Run() will not auto-apply it to every point — for benches that assign
+  // the plan to their own subset of points (fig14's failover series keeps a
+  // no-fault baseline series next to it). Returns false when the flag was
+  // not passed.
+  bool TakeFaultPlan(fault::FaultPlan* out) {
+    if (fault_plan_path_.empty()) {
+      return false;
+    }
+    std::string error;
+    if (!fault::FaultPlan::FromJsonFile(fault_plan_path_, out, &error)) {
+      std::fprintf(stderr, "--fault-plan: %s\n", error.c_str());
+      std::exit(2);
+    }
+    fault_plan_path_.clear();
+    return true;
+  }
 
   void ParseFlagsOrExit(int argc, const char* const* argv) {
     std::string error;
@@ -198,15 +221,35 @@ class SweepRunner {
     // pure hash of each task id, so traced results are bit-identical to
     // untraced ones (tests/determinism_test.cc).
     const sweep::SweepSpec* active = &spec;
-    sweep::SweepSpec traced;
-    if (trace_) {
-      traced = spec;
-      for (sweep::SweepPoint& point : traced.points) {
-        point.config.trace.enabled = true;
-        point.config.trace.sample_period =
-            trace_sample_ <= 0 ? 1 : static_cast<uint64_t>(trace_sample_);
+    sweep::SweepSpec modified;
+    if (trace_ || !fault_plan_path_.empty()) {
+      modified = spec;
+      if (trace_) {
+        for (sweep::SweepPoint& point : modified.points) {
+          point.config.trace.enabled = true;
+          point.config.trace.sample_period =
+              trace_sample_ <= 0 ? 1 : static_cast<uint64_t>(trace_sample_);
+        }
       }
-      active = &traced;
+      // --fault-plan: the same deterministic fault timeline on every point.
+      if (!fault_plan_path_.empty()) {
+        fault::FaultPlan plan;
+        std::string error;
+        if (!fault::FaultPlan::FromJsonFile(fault_plan_path_, &plan, &error)) {
+          std::fprintf(stderr, "--fault-plan: %s\n", error.c_str());
+          std::exit(2);
+        }
+        for (sweep::SweepPoint& point : modified.points) {
+          point.config.fault_plan = plan;
+          const std::string invalid = point.config.Validate();
+          if (!invalid.empty()) {
+            std::fprintf(stderr, "--fault-plan: point %s: %s\n", point.label.c_str(),
+                         invalid.c_str());
+            std::exit(2);
+          }
+        }
+      }
+      active = &modified;
     }
     sweep::SweepOptions options;
     options.parallelism = parallelism_ < 0 ? 1 : static_cast<size_t>(parallelism_);
@@ -259,6 +302,7 @@ class SweepRunner {
   bool trace_ = false;
   int64_t trace_sample_ = 64;
   std::string trace_dir_ = ".";
+  std::string fault_plan_path_;
   TimeNs horizon_ = RunHorizon();
 };
 

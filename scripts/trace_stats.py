@@ -10,7 +10,9 @@ Accepts any mix of the two JSON artifacts a `--trace` bench run emits
 For trace files it checks that event timestamps are monotonic, that every
 "B" has a matching "E" on the same (pid, tid, name) track, and that every
 sampled task reaches a terminal state (complete / censored / net_drop /
-program_drop / recirc_drop). For attribution files it checks the telescoping
+program_drop / recirc_drop). Fault-injected runs (docs/fault_injection.md)
+additionally get a summary of the `fault_window` spans and `rehome` records
+on the synthetic "system" track. For attribution files it checks the telescoping
 invariant — the five stage durations sum exactly (integer ns) to each task's
 end-to-end total — and the sampled == completed + censored accounting, then
 prints the per-stage table and the top-K slowest tasks.
@@ -46,6 +48,8 @@ def check_chrome_trace(path, doc):
     open_spans = {}  # (pid, tid, name) -> [begin ts, ...]
     terminal_pids = set()
     counts = {"B": 0, "E": 0, "i": 0}
+    fault_windows = []  # (begin us, end us) of closed fault_window spans
+    rehomes = 0
     for ev in events:
         ph = ev.get("ph")
         if ph == "M":
@@ -69,6 +73,10 @@ def check_chrome_trace(path, doc):
                 begin = stack.pop()
                 if ts < begin:
                     errors += fail(path, f"span on {key} ends ({ts}) before it begins ({begin})")
+                elif ev.get("name") == "fault_window":
+                    fault_windows.append((begin, ts))
+        if ph == "i" and ev.get("name") == "rehome":
+            rehomes += 1
         if ev.get("name") in TERMINAL_EVENTS:
             terminal_pids.add(ev.get("pid"))
 
@@ -86,6 +94,15 @@ def check_chrome_trace(path, doc):
             f"sample 1/{doc.get('samplePeriod', '?')}, "
             f"{doc.get('droppedRecords', 0)} dropped records"
         )
+        if fault_windows or rehomes:
+            total_us = sum(end - begin for begin, end in fault_windows)
+            spans = ", ".join(
+                f"[{begin / 1e3:.3f}ms, {end / 1e3:.3f}ms]" for begin, end in fault_windows
+            )
+            print(
+                f"     fault: {len(fault_windows)} window(s) totaling "
+                f"{total_us / 1e3:.3f}ms ({spans}), {rehomes} rehome(s)"
+            )
     return errors
 
 

@@ -145,6 +145,7 @@ void Client::HandlePacket(net::Packet pkt) {
       it->second.timeout.Cancel();
       metrics_->RecordEndToEnd(task, simulator_->Now());
       ++completions_;
+      consecutive_timeouts_ = 0;
       if (recorder_ != nullptr && recorder_->Sampled(task.id)) {
         recorder_->Record(task.id, trace::Kind::kComplete, simulator_->Now(),
                           simulator_->Now(), 0, node_id_, task.meta.attempt, 0);
@@ -184,6 +185,23 @@ void Client::OnTimeout(net::TaskId id) {
   // single-task job_submission, keeping first_submit_time so the measured
   // latency includes the loss (§8.3).
   metrics_->RecordTimeoutResubmission();
+  // §3.3: a timeout is evidence against the *current* scheduler only when the
+  // timed-out attempt was sent after the last rehome — stale timeouts of
+  // attempts addressed to the previous scheduler must not flip the client
+  // back toward a dead switch.
+  if (standby_ != net::kInvalidNode && it->second.task.meta.submit_time >= last_rehome_time_ &&
+      ++consecutive_timeouts_ >= config_.rehome_after_timeouts) {
+    // The scheduler looks dead from here; resubmit toward the standby. The
+    // swap ping-pongs, so a spurious rehome self-corrects on the next streak.
+    consecutive_timeouts_ = 0;
+    last_rehome_time_ = simulator_->Now();
+    std::swap(scheduler_, standby_);
+    ++rehomes_;
+    metrics_->RecordClientRehome();
+    if (recorder_ != nullptr) {
+      recorder_->RecordGlobal(trace::Kind::kRehome, simulator_->Now(), scheduler_, node_id_);
+    }
+  }
   net::TaskInfo task = it->second.task;
   task.meta.submit_time = simulator_->Now();
   task.meta.attempt += 1;

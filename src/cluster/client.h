@@ -34,6 +34,9 @@ struct ClientConfig {
   // Fire-and-forget mode for closed-loop throughput benches: no outstanding
   // tracking, no timeouts, errors ignored.
   bool fire_and_forget = false;
+  // §3.3: consecutive timeouts (no completion in between) before the client
+  // falls back to the standby scheduler, when one is set via SetStandby.
+  uint32_t rehome_after_timeouts = 2;
   net::HostProfile host_profile = net::HostProfile::Dpdk(TimeNs{150});
 };
 
@@ -48,6 +51,12 @@ class Client : public net::Endpoint {
   // The scheduler address all submissions go to.
   void SetScheduler(net::NodeId scheduler) { scheduler_ = scheduler; }
 
+  // §3.3 failover fallback. Clients are not told about a failover; after
+  // `rehome_after_timeouts` consecutive timeouts they swap scheduler and
+  // standby (ping-pong, so a spurious rehome can never strand the client on
+  // a dead standby — the next timeout streak swaps back).
+  void SetStandby(net::NodeId standby) { standby_ = standby; }
+
   // Submits a batch of independent tasks as one job (possibly multiple
   // packets). Returns the job id.
   uint32_t SubmitJob(const std::vector<TaskSpec>& tasks);
@@ -58,6 +67,7 @@ class Client : public net::Endpoint {
   // Tasks submitted but not yet completed.
   size_t outstanding() const { return outstanding_.size(); }
   uint64_t completions() const { return completions_; }
+  uint64_t rehomes() const { return rehomes_; }
 
  private:
   struct Pending {
@@ -77,8 +87,12 @@ class Client : public net::Endpoint {
   ClientConfig config_;
   net::NodeId node_id_;
   net::NodeId scheduler_ = net::kInvalidNode;
+  net::NodeId standby_ = net::kInvalidNode;
   uint32_t next_jid_ = 0;
   uint64_t completions_ = 0;
+  uint32_t consecutive_timeouts_ = 0;
+  uint64_t rehomes_ = 0;
+  TimeNs last_rehome_time_ = -1;  // timeouts of older attempts don't rehome
   std::unordered_map<net::TaskId, Pending, net::TaskIdHash> outstanding_;
 };
 

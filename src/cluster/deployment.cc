@@ -63,6 +63,22 @@ void PullBasedDeployment::WireWorkers(Testbed& testbed) {
   }
 }
 
+std::vector<net::NodeId> PullBasedDeployment::WorkerNodes() const {
+  std::vector<net::NodeId> nodes;
+  nodes.reserve(executors_.size());
+  for (const auto& ex : executors_) {
+    nodes.push_back(ex->node_id());
+  }
+  return nodes;
+}
+
+void PullBasedDeployment::RehomeExecutors(Testbed& testbed, net::NodeId scheduler) {
+  for (auto& ex : executors_) {
+    ex->Rehome(scheduler);
+    testbed.metrics()->RecordExecutorRehome();
+  }
+}
+
 uint64_t PullBasedDeployment::DecisionCount(Testbed& testbed) const {
   uint64_t total = testbed.metrics()->total_node_completions();
   for (const auto& ex : executors_) {

@@ -59,9 +59,29 @@ class SchedulerDeployment {
     return testbed.metrics()->total_node_completions();
   }
 
+  // Fabric addresses of the worker-side endpoints, in wiring order; the
+  // fault injector resolves `executor` node references through this. Kinds
+  // whose worker side is not individually addressable return empty.
+  virtual std::vector<net::NodeId> WorkerNodes() const { return {}; }
+
+  // §3.3 failover: promote the standby scheduler after the active instance
+  // was disconnected by a fault plan. Implementations must swap the standby
+  // into scheduler_nodes()[0] and rehome their worker side; clients rehome on
+  // their own through timeouts. Returns false when the kind has no standby
+  // (the default); plans requesting a failover are rejected for such kinds by
+  // ExperimentConfig::Validate (see DeploymentInfo::failover).
+  virtual bool Failover(Testbed& testbed) {
+    (void)testbed;
+    return false;
+  }
+
   // Fabric addresses of the scheduler instances; clients are assigned
   // round-robin across them.
   const std::vector<net::NodeId>& scheduler_nodes() const { return scheduler_nodes_; }
+
+  // Standby scheduler addresses (non-empty only when the deployment built a
+  // standby for a failover plan); clients arm their rehome fallback with [0].
+  const std::vector<net::NodeId>& standby_nodes() const { return standby_nodes_; }
 
  protected:
   explicit SchedulerDeployment(const ExperimentConfig& config) : config_(&config) {}
@@ -69,6 +89,7 @@ class SchedulerDeployment {
   const ExperimentConfig& config() const { return *config_; }
 
   std::vector<net::NodeId> scheduler_nodes_;
+  std::vector<net::NodeId> standby_nodes_;
 
  private:
   const ExperimentConfig* config_;
@@ -81,9 +102,14 @@ class PullBasedDeployment : public SchedulerDeployment {
  public:
   void WireWorkers(Testbed& testbed) override;
   uint64_t DecisionCount(Testbed& testbed) const override;
+  std::vector<net::NodeId> WorkerNodes() const override;
 
  protected:
   using SchedulerDeployment::SchedulerDeployment;
+
+  // §3.3: point the whole executor fleet at `scheduler` (each executor's pull
+  // watchdog re-issues any request lost to the failed switch).
+  void RehomeExecutors(Testbed& testbed, net::NodeId scheduler);
 
  private:
   // The policy-specific executor property word (EXEC_RSRC bitmap for the
@@ -108,6 +134,9 @@ struct DeploymentInfo {
   std::vector<PolicyKind> policies;
   // Whether num_schedulers > 1 deploys replicated instances (Sparrow).
   bool multi_scheduler = false;
+  // Whether the kind can build a standby and honor a §3.3 scheduler_failover
+  // fault event (currently only the in-network Draconis deployment).
+  bool failover = false;
   DeploymentFactory make;
 };
 

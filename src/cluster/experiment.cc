@@ -1,5 +1,6 @@
 #include "cluster/experiment.h"
 
+#include <algorithm>
 #include <cctype>
 #include <string>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "cluster/feeder.h"
 #include "cluster/testbed.h"
 #include "common/check.h"
+#include "fault/injector.h"
 #include "sim/simulator.h"
 #include "workload/generators.h"
 
@@ -95,6 +97,19 @@ std::string ExperimentConfig::Validate() const {
     return "warmup must end before the horizon (warmup=" + std::to_string(warmup) +
            " ns, horizon=" + std::to_string(EffectiveHorizon(*this, last_arrival)) + " ns)";
   }
+
+  const std::string fault_error = fault_plan.Validate();
+  if (!fault_error.empty()) {
+    return "fault plan: " + fault_error;
+  }
+  if (fault_plan.has_scheduler_failover() && !info.failover) {
+    return std::string(info.canonical_name) +
+           " has no standby deployment; scheduler_failover fault events need a "
+           "failover-capable scheduler kind";
+  }
+  if (!fault_plan.empty() && fault_settle <= 0) {
+    return "fault_settle must be > 0 when a fault plan is set";
+  }
   return "";
 }
 
@@ -143,7 +158,50 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     deployment->ConfigureClient(cc);
     clients.push_back(std::make_unique<Client>(&testbed, cc));
     clients.back()->SetScheduler(scheduler_nodes[c % scheduler_nodes.size()]);
+    if (!deployment->standby_nodes().empty()) {
+      clients.back()->SetStandby(deployment->standby_nodes()[0]);
+    }
     client_ptrs.push_back(clients.back().get());
+  }
+
+  // §3.3: arm the fault plan. Fault randomness draws from its own seed
+  // domain and an empty plan schedules nothing, so a fault-free run stays
+  // bit-identical to one without the fault layer (determinism_test pins it).
+  fault::Injector injector(
+      &testbed, config.fault_plan,
+      fault::InjectorHooks{
+          [&](const fault::NodeRef& ref) -> std::vector<net::NodeId> {
+            switch (ref.role) {
+              case fault::NodeRef::Role::kScheduler:
+                return deployment->scheduler_nodes();
+              case fault::NodeRef::Role::kStandby:
+                return deployment->standby_nodes();
+              case fault::NodeRef::Role::kExecutor:
+                return deployment->WorkerNodes();
+              case fault::NodeRef::Role::kClient: {
+                std::vector<net::NodeId> nodes;
+                nodes.reserve(clients.size());
+                for (const auto& client : clients) {
+                  nodes.push_back(client->node_id());
+                }
+                return nodes;
+              }
+              case fault::NodeRef::Role::kNode:
+                break;  // resolved by the injector itself
+            }
+            return {};
+          },
+          [&] { deployment->Failover(testbed); }});
+  injector.Arm();
+  if (!config.fault_plan.empty()) {
+    // During->post boundary: an event that never clears (a failover) counts
+    // as cleared `fault_settle` after its onset for the phase histograms.
+    TimeNs fault_clear = 0;
+    for (const fault::FaultEvent& e : config.fault_plan.events()) {
+      fault_clear = std::max(
+          fault_clear, e.end != fault::FaultEvent::kNever ? e.end : e.start + config.fault_settle);
+    }
+    testbed.metrics()->ConfigureFaultWindow(config.fault_plan.first_onset(), fault_clear);
   }
 
   Feeder feeder(&simulator, &stream, client_ptrs.size(),
@@ -218,6 +276,24 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.executor_busy_fraction =
       static_cast<double>(metrics->total_busy()) /
       (static_cast<double>(horizon - config.warmup) * static_cast<double>(total_executors));
+
+  if (!config.fault_plan.empty()) {
+    RecoveryStats& rec = result.recovery;
+    rec.fault_plan_active = true;
+    rec.fault_start = metrics->fault_start();
+    rec.fault_clear = metrics->fault_clear();
+    rec.time_to_recover = metrics->TimeToRecover();
+    rec.unavailability = metrics->UnavailabilityGap();
+    rec.tasks_resubmitted = metrics->timeout_resubmissions();
+    for (const auto& client : clients) {
+      rec.tasks_lost += client->outstanding();
+    }
+    rec.client_rehomes = metrics->client_rehomes();
+    rec.executor_rehomes = metrics->executor_rehomes();
+    rec.packets_dropped = testbed.network().packets_dropped();
+    rec.fault_events_started = injector.events_started();
+    rec.fault_events_cleared = injector.events_cleared();
+  }
 
   result.metrics = testbed.TakeMetrics();
   return result;

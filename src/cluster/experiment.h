@@ -28,6 +28,7 @@
 #include "cluster/metrics.h"
 #include "cluster/scheduler_counters.h"
 #include "core/policy.h"
+#include "fault/plan.h"
 #include "net/network.h"
 #include "p4/pipeline.h"
 #include "trace/recorder.h"
@@ -105,12 +106,40 @@ struct ExperimentConfig {
   // of the task id, so enabling it cannot perturb results.
   trace::TraceConfig trace{};
 
+  // Deterministic fault timeline (docs/fault_injection.md). An empty plan is
+  // bit-identical to no plan; a scheduler_failover event additionally builds
+  // a standby scheduler and is only valid for kinds whose deployment
+  // supports it (DeploymentInfo::failover).
+  fault::FaultPlan fault_plan{};
+  // During->post boundary for the phase-split latency histograms when the
+  // plan's last event never clears (e.g. a failover): completions after
+  // `last event start + fault_settle` count as post-fault.
+  TimeNs fault_settle = FromMillis(5);
+
   // Checks the config for contradictions the simulation would otherwise hide
   // (zero-sized cluster, a policy the chosen scheduler silently ignores, a
   // short worker_resources table, replicating a single-instance scheduler, a
   // warmup past the horizon). Returns an empty string when valid, a
   // descriptive error otherwise. RunExperiment refuses invalid configs.
   std::string Validate() const;
+};
+
+// §3.3 recovery metrics, filled only when the config carried a fault plan.
+// Times are -1 when the underlying event never happened (nothing completed
+// after the onset, ...). See docs/fault_injection.md for definitions.
+struct RecoveryStats {
+  bool fault_plan_active = false;
+  TimeNs fault_start = -1;          // earliest event onset
+  TimeNs fault_clear = -1;          // during->post boundary used for phases
+  TimeNs time_to_recover = -1;      // onset -> first completion after it
+  TimeNs unavailability = -1;       // completion gap spanning the onset
+  uint64_t tasks_resubmitted = 0;   // timeout resubmissions over the run
+  uint64_t tasks_lost = 0;          // submitted tasks never completed
+  uint64_t client_rehomes = 0;      // clients that fell back to the standby
+  uint64_t executor_rehomes = 0;    // executors re-pointed at the standby
+  uint64_t packets_dropped = 0;     // fabric drops (faults + disconnects)
+  uint64_t fault_events_started = 0;
+  uint64_t fault_events_cleared = 0;
 };
 
 struct ExperimentResult {
@@ -135,6 +164,8 @@ struct ExperimentResult {
   double throughput_tps = 0.0;       // completions (or no-op pulls) per second
   double executor_busy_fraction = 0.0;
   TimeNs drain_time = -1;  // when the last task completed (run_to_completion)
+
+  RecoveryStats recovery{};
 };
 
 ExperimentResult RunExperiment(const ExperimentConfig& config);

@@ -66,7 +66,44 @@ void MetricsHub::RecordEndToEnd(const net::TaskInfo& task, TimeNs completion_tim
   if (!InWindow(task.meta.first_submit_time)) {
     return;
   }
-  e2e_delay_.Record(std::max<TimeNs>(0, completion_time - task.meta.first_submit_time));
+  const TimeNs delay = std::max<TimeNs>(0, completion_time - task.meta.first_submit_time);
+  e2e_delay_.Record(delay);
+  if (fault_start_ < 0) {
+    return;
+  }
+  if (completion_time < fault_start_) {
+    e2e_pre_fault_.Record(delay);
+    last_completion_before_fault_ = std::max(last_completion_before_fault_, completion_time);
+    return;
+  }
+  if (first_completion_after_fault_ < 0 || completion_time < first_completion_after_fault_) {
+    first_completion_after_fault_ = completion_time;
+  }
+  if (completion_time < fault_clear_) {
+    e2e_during_fault_.Record(delay);
+  } else {
+    e2e_post_fault_.Record(delay);
+  }
+}
+
+void MetricsHub::ConfigureFaultWindow(TimeNs start, TimeNs clear) {
+  DRACONIS_CHECK(start >= 0 && clear >= start);
+  fault_start_ = start;
+  fault_clear_ = clear;
+}
+
+TimeNs MetricsHub::TimeToRecover() const {
+  if (fault_start_ < 0 || first_completion_after_fault_ < 0) {
+    return -1;
+  }
+  return first_completion_after_fault_ - fault_start_;
+}
+
+TimeNs MetricsHub::UnavailabilityGap() const {
+  if (last_completion_before_fault_ < 0 || first_completion_after_fault_ < 0) {
+    return -1;
+  }
+  return first_completion_after_fault_ - last_completion_before_fault_;
 }
 
 void MetricsHub::RecordSubmission(TimeNs first_submit) {

@@ -63,6 +63,21 @@ class MetricsHub {
   void RecordTimeoutResubmission();
   void RecordQueueFullRetry();
 
+  // --- §3.3 fault / recovery accounting (src/fault/) ------------------------
+
+  // Declares the fault window [start, clear). Once set, RecordEndToEnd also
+  // buckets each completion into the pre/during/post-fault histograms by its
+  // *completion* time, and tracks the completion gap spanning `start` (the
+  // unavailability window) for the recovery metrics below.
+  void ConfigureFaultWindow(TimeNs start, TimeNs clear);
+  bool fault_window_configured() const { return fault_start_ >= 0; }
+  TimeNs fault_start() const { return fault_start_; }
+  TimeNs fault_clear() const { return fault_clear_; }
+
+  // A client or executor re-pointed itself at a standby scheduler (§3.3).
+  void RecordClientRehome() { ++client_rehomes_; }
+  void RecordExecutorRehome() { ++executor_rehomes_; }
+
   // Executor busy-time accounting for the CPU-efficiency analysis (§3.1).
   void RecordBusyInterval(TimeNs start, TimeNs end);
 
@@ -80,6 +95,26 @@ class MetricsHub {
   // measurement window; used by throughput benches to delta across it).
   uint64_t total_node_completions() const { return total_node_completions_; }
   size_t priority_levels() const { return priority_queueing_.size(); }
+
+  // Phase-split end-to-end histograms; empty until ConfigureFaultWindow.
+  const stats::Histogram& e2e_pre_fault() const { return e2e_pre_fault_; }
+  const stats::Histogram& e2e_during_fault() const { return e2e_during_fault_; }
+  const stats::Histogram& e2e_post_fault() const { return e2e_post_fault_; }
+
+  // -1 while no in-window completion landed on that side of the fault onset.
+  TimeNs last_completion_before_fault() const { return last_completion_before_fault_; }
+  TimeNs first_completion_after_fault() const { return first_completion_after_fault_; }
+
+  // Time from the fault onset to the first completion at/after it; -1 when
+  // nothing completed after the onset (the cluster never recovered).
+  TimeNs TimeToRecover() const;
+
+  // Width of the completion gap spanning the onset (last completion before it
+  // to the first at/after it); -1 when either side is missing.
+  TimeNs UnavailabilityGap() const;
+
+  uint64_t client_rehomes() const { return client_rehomes_; }
+  uint64_t executor_rehomes() const { return executor_rehomes_; }
 
   uint64_t placements(net::TaskInfo::Placement p) const;
   uint64_t tasks_submitted() const { return tasks_submitted_; }
@@ -102,6 +137,17 @@ class MetricsHub {
   std::vector<stats::Histogram> priority_queueing_;
   std::vector<stats::Histogram> priority_get_task_;
   std::vector<stats::TimeSeries> node_completions_;
+
+  // §3.3 recovery accounting; inert (fault_start_ == -1) until configured.
+  TimeNs fault_start_ = -1;
+  TimeNs fault_clear_ = -1;
+  stats::Histogram e2e_pre_fault_;
+  stats::Histogram e2e_during_fault_;
+  stats::Histogram e2e_post_fault_;
+  TimeNs last_completion_before_fault_ = -1;
+  TimeNs first_completion_after_fault_ = -1;
+  uint64_t client_rehomes_ = 0;
+  uint64_t executor_rehomes_ = 0;
 
   std::unordered_set<net::TaskId, net::TaskIdHash> executed_;
   uint64_t total_node_completions_ = 0;

@@ -42,6 +42,9 @@ struct SchedulerCounters {
 
   // Central server.
   uint64_t parked_requests = 0;  // pulls that waited for a task
+
+  // §3.3 failover (src/fault/): standby promotions executed this run.
+  uint64_t failovers = 0;
 };
 
 }  // namespace draconis::cluster

@@ -12,6 +12,7 @@ Testbed::Testbed(const TestbedConfig& config)
   }
   net::NetworkConfig net_config = config_.network;
   net_config.seed = SeedFor(SeedDomain::kNetwork);
+  net_config.fault_seed = SeedFor(SeedDomain::kFault);
   network_ = std::make_unique<net::Network>(&simulator_, net_config);
   network_->SetRecorder(recorder_.get());
   metrics_ = std::make_unique<MetricsHub>(config_.warmup, config_.horizon, config_.num_workers,
@@ -28,6 +29,8 @@ uint64_t Testbed::SeedFor(SeedDomain domain, uint64_t index) const {
       return config_.seed * 31 + 5;
     case SeedDomain::kSparrow:
       return config_.seed * 131 + index;
+    case SeedDomain::kFault:
+      return config_.seed * 6151 + 11 + index;
   }
   DRACONIS_CHECK_MSG(false, "unknown seed domain");
   return config_.seed;

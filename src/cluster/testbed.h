@@ -35,6 +35,9 @@ enum class SeedDomain {
   kNetwork,    // fabric jitter
   kRackSched,  // power-of-two sampling
   kSparrow,    // probe targets (per-scheduler-instance via `index`)
+  kFault,      // fault-injection decisions (src/fault/); never consumed
+               // unless a fault rule actually draws, so a faultless run is
+               // bit-identical with or without the domain
 };
 
 // The substrate shape: everything the Testbed needs that is independent of

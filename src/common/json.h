@@ -1,15 +1,20 @@
-// Minimal streaming JSON writer for bench/report output.
+// Minimal JSON support: a streaming writer for bench/report output and a
+// small recursive-descent reader for declarative inputs (fault plans).
 //
-// Builds a pretty-printed (2-space indent) UTF-8 document in memory with
-// deterministic number formatting, so emitted files are stable across runs
-// and diffable in golden tests. No parsing, no DOM — the output layers only
-// ever serialize.
+// The Writer builds a pretty-printed (2-space indent) UTF-8 document in
+// memory with deterministic number formatting, so emitted files are stable
+// across runs and diffable in golden tests. The reader (json::Parse into a
+// json::Value DOM) exists for the handful of places that consume JSON — it
+// favors clear errors over speed and supports exactly the JSON subset the
+// writer emits (objects, arrays, strings with \-escapes, numbers, bools,
+// null).
 
 #ifndef DRACONIS_COMMON_JSON_H_
 #define DRACONIS_COMMON_JSON_H_
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace draconis::json {
@@ -52,6 +57,57 @@ class Writer {
   std::vector<uint64_t> counts_;  // values emitted per open container
   bool key_pending_ = false;
 };
+
+// Parsed JSON value. A small tagged DOM: good enough for config-sized
+// documents (fault plans), not a serialization layer — reports still go
+// through the Writer.
+class Value {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; the caller checks the type first (they CHECK-fail on a
+  // mismatch rather than coerce).
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt() const;  // CHECK-fails when the number has a fraction
+  const std::string& AsString() const;
+  const std::vector<Value>& AsArray() const;
+
+  // Object member lookup; nullptr when absent (or when not an object).
+  const Value* Find(const std::string& key) const;
+  // Member names in document order (for unknown-key diagnostics).
+  std::vector<std::string> Keys() const;
+
+  // Factories used by the parser (and tests).
+  static Value Null();
+  static Value MakeBool(bool b);
+  static Value Number(double d);
+  static Value Str(std::string s);
+  static Value Array(std::vector<Value> items);
+  static Value Object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> members_;  // document order
+};
+
+// Parses a complete JSON document. Returns false (and a "line N: ..." error
+// when `error` is non-null) on malformed input or trailing garbage.
+bool Parse(const std::string& text, Value* out, std::string* error);
 
 }  // namespace draconis::json
 

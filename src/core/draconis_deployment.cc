@@ -1,5 +1,6 @@
 #include "core/draconis_deployment.h"
 
+#include <memory>
 #include <utility>
 
 namespace draconis::core {
@@ -7,49 +8,105 @@ namespace draconis::core {
 DraconisDeployment::DraconisDeployment(const cluster::ExperimentConfig& config)
     : cluster::PullBasedDeployment(config) {}
 
-void DraconisDeployment::Build(cluster::Testbed& testbed) {
+DraconisDeployment::Instance DraconisDeployment::BuildInstance(cluster::Testbed& testbed,
+                                                               bool attach_as_switch) {
   const cluster::ExperimentConfig& cfg = config();
+  Instance inst;
   switch (cfg.policy) {
     case cluster::PolicyKind::kFcfs:
-      policy_ = std::make_unique<FcfsPolicy>();
+      inst.policy = std::make_unique<FcfsPolicy>();
       break;
     case cluster::PolicyKind::kPriority:
-      policy_ = std::make_unique<PriorityPolicy>(cfg.priority_levels);
+      inst.policy = std::make_unique<PriorityPolicy>(cfg.priority_levels);
       break;
     case cluster::PolicyKind::kResource:
-      policy_ = std::make_unique<ResourcePolicy>();
+      inst.policy = std::make_unique<ResourcePolicy>();
       break;
     case cluster::PolicyKind::kLocality:
-      policy_ = std::make_unique<LocalityPolicy>(&testbed.topology(), cfg.locality_limits);
+      inst.policy = std::make_unique<LocalityPolicy>(&testbed.topology(), cfg.locality_limits);
       break;
   }
   DraconisConfig dc;
   dc.queue_capacity = cfg.queue_capacity;
   dc.shadow_copy_dequeue = cfg.shadow_copy_dequeue;
   dc.parallel_priority_stages = cfg.parallel_priority_stages;
-  program_ = std::make_unique<DraconisProgram>(policy_.get(), dc);
-  program_->SetRecorder(testbed.recorder());
-  pipeline_ = std::make_unique<p4::SwitchPipeline>(testbed, program_.get(), cfg.pipeline);
-  scheduler_nodes_.push_back(pipeline_->node_id());
+  inst.program = std::make_unique<DraconisProgram>(inst.policy.get(), dc);
+  inst.program->SetRecorder(testbed.recorder());
+  if (attach_as_switch) {
+    inst.pipeline = std::make_unique<p4::SwitchPipeline>(testbed, inst.program.get(), cfg.pipeline);
+  } else {
+    inst.pipeline =
+        std::make_unique<p4::SwitchPipeline>(&testbed.simulator(), inst.program.get(), cfg.pipeline);
+    inst.pipeline->SetRecorder(testbed.recorder());
+    inst.pipeline->AttachNetwork(&testbed.network());
+  }
+  return inst;
+}
+
+void DraconisDeployment::Build(cluster::Testbed& testbed) {
+  active_ = BuildInstance(testbed, /*attach_as_switch=*/true);
+  scheduler_nodes_.push_back(active_.pipeline->node_id());
+  // The standby is built only when a fault plan will promote it, so fault-free
+  // configs keep the exact node-id assignment order (and thus results) they
+  // had before the fault layer existed.
+  if (config().fault_plan.has_scheduler_failover()) {
+    standby_ = BuildInstance(testbed, /*attach_as_switch=*/false);
+    // AttachNetwork made the standby the fabric's switch node; the active
+    // instance keeps that role until Failover promotes the standby.
+    testbed.network().SetSwitchNode(active_.pipeline->node_id());
+    standby_nodes_.push_back(standby_.pipeline->node_id());
+  }
+}
+
+bool DraconisDeployment::Failover(cluster::Testbed& testbed) {
+  if (standby_.pipeline == nullptr) {
+    return false;
+  }
+  ++failovers_;
+  const net::NodeId standby = standby_.pipeline->node_id();
+  testbed.network().SetSwitchNode(standby);
+  scheduler_nodes_[0] = standby;
+  RehomeExecutors(testbed, standby);
+  return true;
 }
 
 void DraconisDeployment::Harvest(cluster::ExperimentResult& result) {
-  result.switch_counters = pipeline_->counters();
+  result.switch_counters = active_.pipeline->counters();
+  if (standby_.pipeline != nullptr) {
+    const p4::PipelineCounters& s = standby_.pipeline->counters();
+    result.switch_counters.packets_in += s.packets_in;
+    result.switch_counters.passes += s.passes;
+    result.switch_counters.recirculations += s.recirculations;
+    result.switch_counters.recirc_drops += s.recirc_drops;
+    result.switch_counters.emitted += s.emitted;
+    for (const auto& [reason, count] : s.program_drops) {
+      result.switch_counters.program_drops[reason] += count;
+    }
+  }
   result.recirculation_share = result.switch_counters.RecirculationShare();
   result.recirc_drops = result.switch_counters.recirc_drops;
 
-  const DraconisCounters& c = program_->counters();
-  result.counters.tasks_enqueued = c.tasks_enqueued;
-  result.counters.tasks_assigned = c.tasks_assigned;
-  result.counters.noops_sent = c.noops_sent;
-  result.counters.queue_full_errors = c.queue_full_errors;
-  result.counters.acks_sent = c.acks_sent;
-  result.counters.add_repairs = c.add_repairs;
-  result.counters.retrieve_repairs = c.retrieve_repairs;
-  result.counters.swap_walks_started = c.swap_walks_started;
-  result.counters.swap_exchanges = c.swap_exchanges;
-  result.counters.swap_requeues = c.swap_requeues;
-  result.counters.priority_probes = c.priority_probes;
+  // Both instances report into the same flat aggregate; before the failover
+  // the standby's counters are all zero.
+  for (const DraconisProgram* program :
+       {active_.program.get(), standby_.program.get()}) {
+    if (program == nullptr) {
+      continue;
+    }
+    const DraconisCounters& c = program->counters();
+    result.counters.tasks_enqueued += c.tasks_enqueued;
+    result.counters.tasks_assigned += c.tasks_assigned;
+    result.counters.noops_sent += c.noops_sent;
+    result.counters.queue_full_errors += c.queue_full_errors;
+    result.counters.acks_sent += c.acks_sent;
+    result.counters.add_repairs += c.add_repairs;
+    result.counters.retrieve_repairs += c.retrieve_repairs;
+    result.counters.swap_walks_started += c.swap_walks_started;
+    result.counters.swap_exchanges += c.swap_exchanges;
+    result.counters.swap_requeues += c.swap_requeues;
+    result.counters.priority_probes += c.priority_probes;
+  }
+  result.counters.failovers = failovers_;
 }
 
 cluster::DeploymentInfo DraconisDeploymentInfo() {
@@ -59,6 +116,7 @@ cluster::DeploymentInfo DraconisDeploymentInfo() {
   info.flag_name = "draconis";
   info.policies = {cluster::PolicyKind::kFcfs, cluster::PolicyKind::kPriority,
                    cluster::PolicyKind::kResource, cluster::PolicyKind::kLocality};
+  info.failover = true;
   info.make = [](const cluster::ExperimentConfig& config) {
     return std::make_unique<DraconisDeployment>(config);
   };

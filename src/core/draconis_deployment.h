@@ -21,11 +21,27 @@ class DraconisDeployment : public cluster::PullBasedDeployment {
 
   void Build(cluster::Testbed& testbed) override;
   void Harvest(cluster::ExperimentResult& result) override;
+  bool Failover(cluster::Testbed& testbed) override;
 
  private:
-  std::unique_ptr<SchedulingPolicy> policy_;
-  std::unique_ptr<DraconisProgram> program_;
-  std::unique_ptr<p4::SwitchPipeline> pipeline_;
+  // One scheduler instance: a policy, the program running it, and the
+  // pipeline hosting the program. Built twice when a §3.3 fault plan asks
+  // for a failover (active switch + cold standby).
+  struct Instance {
+    std::unique_ptr<SchedulingPolicy> policy;
+    std::unique_ptr<DraconisProgram> program;
+    std::unique_ptr<p4::SwitchPipeline> pipeline;
+  };
+
+  Instance BuildInstance(cluster::Testbed& testbed, bool attach_as_switch);
+
+  Instance active_;
+  // §3.3 standby. Starts empty (queue state is *not* replicated: the
+  // single-access register model has no cross-switch mirroring primitive, so
+  // queued state on the failed switch is reconstructed by client timeout
+  // resubmission — safe because duplicate completions are suppressed, §8.3).
+  Instance standby_;
+  uint64_t failovers_ = 0;
 };
 
 cluster::DeploymentInfo DraconisDeploymentInfo();

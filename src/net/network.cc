@@ -14,7 +14,11 @@ uint64_t PairKey(NodeId from, NodeId to) {
 }  // namespace
 
 Network::Network(sim::Simulator* simulator, const NetworkConfig& config)
-    : simulator_(simulator), config_(config), rng_(config.seed) {
+    : simulator_(simulator),
+      config_(config),
+      rng_(config.seed),
+      fault_rng_(config.fault_seed != 0 ? config.fault_seed
+                                        : config.seed * 0x9E3779B97F4A7C15ULL + 3) {
   DRACONIS_CHECK(simulator != nullptr);
 }
 
@@ -39,7 +43,7 @@ void Network::Send(NodeId from, Packet pkt) {
   }
   if (!drop_rules_.empty()) {
     auto it = drop_rules_.find(PairKey(from, pkt.dst));
-    if (it != drop_rules_.end() && rng_.NextBool(it->second)) {
+    if (it != drop_rules_.end() && fault_rng_.NextBool(it->second)) {
       ++packets_dropped_;
       RecordNetDrops(pkt);
       return;
@@ -58,7 +62,8 @@ void Network::Send(NodeId from, Packet pkt) {
       static_cast<TimeNs>(config_.ns_per_byte * static_cast<double>(pkt.WireSize()));
   const TimeNs jitter =
       config_.max_jitter > 0 ? static_cast<TimeNs>(rng_.NextBelow(config_.max_jitter)) : 0;
-  const TimeNs arrives = departs + hops * config_.propagation + serialization + jitter;
+  const TimeNs arrives =
+      departs + hops * config_.propagation + serialization + jitter + latency_penalty_;
 
   if (recorder_ != nullptr) {
     // One wire span per sampled task: send initiation -> fabric arrival.
@@ -72,14 +77,21 @@ void Network::Send(NodeId from, Packet pkt) {
     }
   }
 
-  // Receive-side CPU occupancy plus stack latency.
+  // Receive-side CPU occupancy plus stack latency. The destination may have
+  // crashed while the packet was in flight; a disconnected host cannot take
+  // delivery, so `disconnected` is re-checked at NIC arrival and again at
+  // hand-off (a crashed switch must not keep serving queued packets).
   const NodeId dst = pkt.dst;
   simulator_->At(arrives, [this, dst, pkt = std::move(pkt)]() mutable {
     Host& host = hosts_[dst];
+    if (host.disconnected) {
+      ++packets_dropped_;
+      RecordNetDrops(pkt);
+      return;
+    }
     const TimeNs now_rx = simulator_->Now();
     host.busy_until = std::max(host.busy_until, now_rx) + host.profile.rx_cost;
     const TimeNs deliver_at = host.busy_until + host.profile.stack_latency;
-    ++packets_delivered_;
     if (recorder_ != nullptr && deliver_at > now_rx) {
       for (const TaskInfo& t : pkt.tasks) {
         if (recorder_->Sampled(t.id)) {
@@ -90,6 +102,12 @@ void Network::Send(NodeId from, Packet pkt) {
       }
     }
     simulator_->At(deliver_at, [this, dst, pkt = std::move(pkt)]() mutable {
+      if (hosts_[dst].disconnected) {
+        ++packets_dropped_;
+        RecordNetDrops(pkt);
+        return;
+      }
+      ++packets_delivered_;
       hosts_[dst].endpoint->HandlePacket(std::move(pkt));
     });
   });
@@ -113,7 +131,14 @@ void Network::InjectDrop(NodeId from, NodeId to, double probability) {
   drop_rules_[PairKey(from, to)] = probability;
 }
 
+void Network::RemoveDrop(NodeId from, NodeId to) { drop_rules_.erase(PairKey(from, to)); }
+
 void Network::ClearDropRules() { drop_rules_.clear(); }
+
+void Network::AddLatencyPenalty(TimeNs delta) {
+  latency_penalty_ += delta;
+  DRACONIS_CHECK_MSG(latency_penalty_ >= 0, "latency penalty went negative");
+}
 
 void Network::Disconnect(NodeId node) {
   DRACONIS_CHECK(node < hosts_.size());

@@ -63,6 +63,11 @@ struct NetworkConfig {
   double ns_per_byte = 0.08;          // 100 Gbps serialization
   TimeNs max_jitter = TimeNs{100};    // uniform [0, max_jitter)
   uint64_t seed = 1;
+  // Seed of the fault-decision stream (drop-probability draws). Kept apart
+  // from `seed` (the jitter stream) so installing fault rules never perturbs
+  // the delivery times of surviving packets; 0 derives a default from `seed`.
+  // Testbeds set it from SeedDomain::kFault.
+  uint64_t fault_seed = 0;
 };
 
 class Network {
@@ -87,15 +92,23 @@ class Network {
   void Send(NodeId from, Packet pkt);
 
   // Fault injection: every packet from -> to is dropped with `probability`.
-  // Used by tests to exercise client timeout/resubmission paths.
+  // Probability draws come from the dedicated fault stream (fault_seed), so a
+  // rule — even with p=0 — never perturbs the jitter of surviving packets.
   void InjectDrop(NodeId from, NodeId to, double probability);
+  void RemoveDrop(NodeId from, NodeId to);
   void ClearDropRules();
 
   // Fault injection: the node fails hard — every packet to or from it is
-  // dropped until Reconnect. Models the paper's §3.3 switch failure.
+  // dropped until Reconnect, including packets already in flight toward it
+  // (re-checked at delivery time). Models the paper's §3.3 switch failure.
   void Disconnect(NodeId node);
   void Reconnect(NodeId node);
   bool IsDisconnected(NodeId node) const;
+
+  // Fault injection: adds `delta` (may be negative to undo) to the delivery
+  // latency of every subsequently sent packet. Degradation windows stack.
+  void AddLatencyPenalty(TimeNs delta);
+  TimeNs latency_penalty() const { return latency_penalty_; }
 
   uint64_t packets_delivered() const { return packets_delivered_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
@@ -114,11 +127,13 @@ class Network {
 
   sim::Simulator* simulator_;
   NetworkConfig config_;
-  Rng rng_;
+  Rng rng_;        // jitter stream
+  Rng fault_rng_;  // drop-probability stream; only consumed by drop rules
   trace::Recorder* recorder_ = nullptr;
   std::vector<Host> hosts_;
   NodeId switch_node_ = kInvalidNode;
   std::unordered_map<uint64_t, double> drop_rules_;  // (from << 32 | to) -> p
+  TimeNs latency_penalty_ = 0;
   uint64_t packets_delivered_ = 0;
   uint64_t packets_dropped_ = 0;
 };

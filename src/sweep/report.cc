@@ -80,6 +80,34 @@ void WriteResultBody(json::Writer& w, const cluster::ExperimentResult& result) {
   }
   w.Key("counters");
   WriteCounters(w, result.counters);
+  // Emitted only for fault-plan runs, so fault-free sweep output (and its
+  // golden in tests/sweep_test.cc) is byte-identical to before.
+  if (result.recovery.fault_plan_active) {
+    const cluster::RecoveryStats& rec = result.recovery;
+    w.Key("recovery").BeginObject();
+    w.Key("fault_start_ns").Int(rec.fault_start);
+    w.Key("fault_clear_ns").Int(rec.fault_clear);
+    w.Key("time_to_recover_ns").Int(rec.time_to_recover);
+    w.Key("unavailability_ns").Int(rec.unavailability);
+    w.Key("tasks_resubmitted").UInt(rec.tasks_resubmitted);
+    w.Key("tasks_lost").UInt(rec.tasks_lost);
+    w.Key("client_rehomes").UInt(rec.client_rehomes);
+    w.Key("executor_rehomes").UInt(rec.executor_rehomes);
+    w.Key("failovers").UInt(result.counters.failovers);
+    w.Key("packets_dropped").UInt(rec.packets_dropped);
+    w.Key("fault_events_started").UInt(rec.fault_events_started);
+    w.Key("fault_events_cleared").UInt(rec.fault_events_cleared);
+    if (result.metrics != nullptr) {
+      const cluster::MetricsHub& m = *result.metrics;
+      w.Key("e2e_pre_fault");
+      m.e2e_pre_fault().WriteJson(w);
+      w.Key("e2e_during_fault");
+      m.e2e_during_fault().WriteJson(w);
+      w.Key("e2e_post_fault");
+      m.e2e_post_fault().WriteJson(w);
+    }
+    w.EndObject();
+  }
 }
 
 }  // namespace
@@ -197,6 +225,11 @@ int WriteCsvDir(const std::string& dir, const SweepSpec& spec,
       written += DumpCdf(dir, spec, point, name, m.priority_queueing(level)) ? 1 : 0;
       std::snprintf(name, sizeof(name), "priority%zu_get_task", level);
       written += DumpCdf(dir, spec, point, name, m.priority_get_task(level)) ? 1 : 0;
+    }
+    if (point.result.recovery.fault_plan_active) {
+      written += DumpCdf(dir, spec, point, "e2e_pre_fault", m.e2e_pre_fault()) ? 1 : 0;
+      written += DumpCdf(dir, spec, point, "e2e_during_fault", m.e2e_during_fault()) ? 1 : 0;
+      written += DumpCdf(dir, spec, point, "e2e_post_fault", m.e2e_post_fault()) ? 1 : 0;
     }
   }
   return written;

@@ -56,6 +56,8 @@ const char* KindName(Kind kind) {
       return "exec_service";
     case Kind::kRehome:
       return "rehome";
+    case Kind::kFaultWindow:
+      return "fault_window";
   }
   return "unknown";
 }
@@ -89,6 +91,7 @@ Lane LaneFor(Kind kind) {
     case Kind::kWire:
     case Kind::kHostRx:
     case Kind::kNetDrop:
+    case Kind::kFaultWindow:
       return Lane::kNet;
     case Kind::kSwitchPass:
     case Kind::kRecirc:

@@ -57,11 +57,13 @@ enum class Kind : uint8_t {
   kExecPickup,   // span: arrival -> service start (incl. §4.4 param fetch)
   kExecService,  // span: data access + function execution
 
-  // Control plane (global record, no task id).
-  kRehome,  // §3.3: an executor re-pointed at a standby scheduler
+  // Control plane (global records, no task id).
+  kRehome,       // §3.3: an executor/client re-pointed at a standby scheduler
+  kFaultWindow,  // span: a fault-plan event was active (detail = EventKind);
+                 // Perfetto renders it as the outage band on the system track
 };
 
-inline constexpr uint8_t kNumKinds = static_cast<uint8_t>(Kind::kRehome) + 1;
+inline constexpr uint8_t kNumKinds = static_cast<uint8_t>(Kind::kFaultWindow) + 1;
 
 // Stable lower_snake_case name; doubles as the Chrome trace-event name.
 const char* KindName(Kind kind);
@@ -76,6 +78,7 @@ constexpr bool IsInstant(Kind kind) {
     case Kind::kQueueWait:
     case Kind::kExecPickup:
     case Kind::kExecService:
+    case Kind::kFaultWindow:
       return false;
     default:
       return true;

@@ -13,6 +13,8 @@
 #include "cluster/testbed.h"
 #include "core/draconis_program.h"
 #include "core/policy.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "net/network.h"
 #include "p4/pipeline.h"
 #include "sim/simulator.h"
@@ -414,6 +416,80 @@ TEST(FailoverTest, ClusterSurvivesSwitchFailure) {
   EXPECT_EQ(client.outstanding(), 0u);
   EXPECT_GT(metrics.timeout_resubmissions(), 0u);
   EXPECT_GT(program_b.counters().tasks_assigned, 0u);
+}
+
+// The same crash -> rehome -> recover arc, but driven by a fault::Injector
+// plan instead of hand-scheduled callbacks, and with the client left to
+// discover the failure through its own timeout streak (SetStandby). No task
+// is lost and §8.3 duplicate suppression keeps the completion count exact.
+TEST(FailoverTest, InjectorDrivenFailoverLosesNoTasks) {
+  Testbed testbed{TestbedConfig{}};
+  sim::Simulator& simulator = testbed.simulator();
+  MetricsHub& metrics = *testbed.metrics();
+
+  core::FcfsPolicy policy;
+  core::DraconisConfig dc;
+  core::DraconisProgram program_a(&policy, dc);
+  core::DraconisProgram program_b(&policy, dc);
+  p4::SwitchPipeline switch_a(testbed, &program_a, p4::PipelineConfig{});
+  p4::SwitchPipeline switch_b(&simulator, &program_b, p4::PipelineConfig{});
+  const net::NodeId node_a = switch_a.node_id();
+  const net::NodeId node_b = switch_b.AttachNetwork(&testbed.network());
+
+  std::vector<std::unique_ptr<Executor>> executors;
+  for (int i = 0; i < 4; ++i) {
+    ExecutorConfig config;
+    config.request_timeout = FromMicros(500);
+    executors.push_back(std::make_unique<Executor>(&testbed, config));
+    executors.back()->Start(node_a, 1 + i * 100);
+  }
+  ClientConfig cc;
+  // Generous timeouts (3 ms on the 100 us tasks): queueing on the live
+  // standby never looks like a failure, so only the real crash triggers the
+  // timeout streak and the client flips exactly once.
+  cc.timeout_multiplier = 30.0;
+  Client client(&testbed, cc);
+  client.SetScheduler(node_a);
+  client.SetStandby(node_b);
+
+  fault::FaultPlan plan;
+  plan.SchedulerFailover(FromMillis(2) + FromMicros(60));
+  fault::InjectorHooks hooks;
+  hooks.resolve = [&](const fault::NodeRef& ref) -> std::vector<net::NodeId> {
+    if (ref.role == fault::NodeRef::Role::kScheduler) {
+      return {node_a};
+    }
+    return {};
+  };
+  hooks.on_failover = [&] {
+    for (auto& executor : executors) {
+      executor->Rehome(node_b);
+      metrics.RecordExecutorRehome();
+    }
+  };
+  fault::Injector injector(&testbed, plan, std::move(hooks));
+  injector.Arm();
+
+  for (int burst = 0; burst < 10; ++burst) {
+    simulator.At(1 + burst * FromMicros(500), [&] {
+      client.SubmitJob(std::vector<TaskSpec>(16, TaskSpec{FromMicros(100), 0, 0, 0, 0}));
+    });
+  }
+  simulator.RunUntil(FromSeconds(2));
+
+  // Reconstruction by resubmission: every task completes exactly once.
+  EXPECT_EQ(client.completions(), 160u);
+  EXPECT_EQ(client.outstanding(), 0u);
+  EXPECT_EQ(metrics.e2e_delay().count(), 160u) << "duplicates must be suppressed";
+  EXPECT_GT(metrics.timeout_resubmissions(), 0u);
+  EXPECT_GT(program_b.counters().tasks_assigned, 0u);
+  EXPECT_TRUE(testbed.network().IsDisconnected(node_a));
+  EXPECT_EQ(injector.events_started(), 1u);
+  // The stale-timeout guard means the client flips exactly once — never back
+  // to the dead switch — and the hub saw both rehome flavours.
+  EXPECT_EQ(client.rehomes(), 1u);
+  EXPECT_EQ(metrics.client_rehomes(), 1u);
+  EXPECT_EQ(metrics.executor_rehomes(), 4u);
 }
 
 }  // namespace

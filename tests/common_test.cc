@@ -265,5 +265,87 @@ TEST(JsonWriterTest, DoubleFormattingRoundTrips) {
   EXPECT_EQ(json::Writer::FormatDouble(42.0), "42");
 }
 
+// ---------------------------------------------------------------------------
+// json::Parse (the reader side, used by fault plans)
+// ---------------------------------------------------------------------------
+
+TEST(JsonParseTest, ParsesEveryValueType) {
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::Parse(
+      R"({"s": "hi\n", "i": -42, "d": 2.5, "t": true, "f": false, "n": null,
+          "a": [1, 2, 3], "o": {"nested": "yes"}})",
+      &doc, &error))
+      << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("s")->AsString(), "hi\n");
+  EXPECT_EQ(doc.Find("i")->AsInt(), -42);
+  EXPECT_DOUBLE_EQ(doc.Find("d")->AsDouble(), 2.5);
+  EXPECT_TRUE(doc.Find("t")->AsBool());
+  EXPECT_FALSE(doc.Find("f")->AsBool());
+  EXPECT_TRUE(doc.Find("n")->is_null());
+  ASSERT_TRUE(doc.Find("a")->is_array());
+  ASSERT_EQ(doc.Find("a")->AsArray().size(), 3u);
+  EXPECT_EQ(doc.Find("a")->AsArray()[2].AsInt(), 3);
+  EXPECT_EQ(doc.Find("o")->Find("nested")->AsString(), "yes");
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, KeysPreserveDocumentOrder) {
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::Parse(R"({"z": 1, "a": 2, "m": 3})", &doc, &error)) << error;
+  EXPECT_EQ(doc.Keys(), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("name").String("plan \"x\"\n");
+  w.Key("count").Int(7);
+  w.Key("ratio").Double(0.125);
+  w.Key("items").BeginArray();
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::Parse(w.str(), &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("name")->AsString(), "plan \"x\"\n");
+  EXPECT_EQ(doc.Find("count")->AsInt(), 7);
+  EXPECT_DOUBLE_EQ(doc.Find("ratio")->AsDouble(), 0.125);
+  ASSERT_EQ(doc.Find("items")->AsArray().size(), 2u);
+  EXPECT_TRUE(doc.Find("items")->AsArray()[0].AsBool());
+  EXPECT_TRUE(doc.Find("items")->AsArray()[1].is_null());
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  for (const char* bad : {
+           "",                       // empty input
+           "{",                      // unterminated object
+           "[1, 2",                  // unterminated array
+           "{\"a\" 1}",              // missing colon
+           "{\"a\": 1,}",            // trailing comma
+           "\"unterminated",         // unterminated string
+           "{\"a\": 1e}",            // malformed number
+           "tru",                    // truncated literal
+           "{\"a\": 1} extra",       // trailing garbage
+       }) {
+    json::Value doc;
+    std::string error;
+    EXPECT_FALSE(json::Parse(bad, &doc, &error)) << "input: " << bad;
+    EXPECT_FALSE(error.empty()) << "input: " << bad;
+  }
+}
+
+TEST(JsonParseTest, ErrorsCarryLineNumbers) {
+  json::Value doc;
+  std::string error;
+  ASSERT_FALSE(json::Parse("{\n  \"a\": 1,\n  oops\n}", &doc, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace draconis

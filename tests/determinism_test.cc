@@ -8,6 +8,7 @@
 
 #include "cluster/experiment.h"
 #include "common/rng.h"
+#include "fault/plan.h"
 #include "sim/simulator.h"
 #include "workload/generators.h"
 #include "workload/google_trace.h"
@@ -232,6 +233,81 @@ TEST(DeterminismTest, TracingAtAnyRateIsBitIdenticalToUntraced) {
     EXPECT_EQ(off.counters.tasks_assigned, traced->counters.tasks_assigned);
     EXPECT_EQ(off.counters.noops_sent, traced->counters.noops_sent);
   }
+}
+
+// The fault subsystem's determinism contract (src/fault/): arming an empty —
+// or never-firing — plan consumes no randomness and schedules nothing that
+// changes behaviour, so the run is bit-identical to a faultless one.
+TEST(DeterminismTest, EmptyOrNeverFiringFaultPlanIsBitIdenticalToFaultless) {
+  cluster::ExperimentResult faultless = RunExperiment(Fig05aMiniConfig());
+
+  cluster::ExperimentConfig empty_plan = Fig05aMiniConfig();
+  empty_plan.fault_plan = fault::FaultPlan{};
+  cluster::ExperimentResult with_empty = RunExperiment(empty_plan);
+
+  cluster::ExperimentConfig never_firing = Fig05aMiniConfig();
+  // Onset far past the horizon: armed, never fires.
+  never_firing.fault_plan.LatencyDegrade(FromSeconds(100), fault::FaultEvent::kNever,
+                                         FromMicros(5));
+  cluster::ExperimentResult with_never = RunExperiment(never_firing);
+
+  EXPECT_FALSE(with_empty.recovery.fault_plan_active);
+  EXPECT_TRUE(with_never.recovery.fault_plan_active);
+  EXPECT_EQ(with_never.recovery.fault_events_started, 0u);
+
+  for (const cluster::ExperimentResult* r : {&with_empty, &with_never}) {
+    EXPECT_EQ(faultless.metrics->tasks_submitted(), r->metrics->tasks_submitted());
+    EXPECT_EQ(faultless.metrics->tasks_completed(), r->metrics->tasks_completed());
+    EXPECT_EQ(faultless.metrics->timeout_resubmissions(), r->metrics->timeout_resubmissions());
+    for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(faultless.metrics->sched_delay().Percentile(q),
+                r->metrics->sched_delay().Percentile(q))
+          << "q=" << q;
+      EXPECT_EQ(faultless.metrics->e2e_delay().Percentile(q),
+                r->metrics->e2e_delay().Percentile(q))
+          << "q=" << q;
+    }
+    EXPECT_EQ(faultless.switch_counters.passes, r->switch_counters.passes);
+    EXPECT_EQ(faultless.counters.tasks_assigned, r->counters.tasks_assigned);
+    EXPECT_EQ(faultless.counters.noops_sent, r->counters.noops_sent);
+  }
+}
+
+// Same seed + same fault plan => bit-identical results, including every
+// recovery metric — the §3.3 failover (standby build, executor rehoming,
+// client timeout rehoming) is as reproducible as a faultless run.
+TEST(DeterminismTest, FailoverRunIsBitIdentical) {
+  auto make = [] {
+    cluster::ExperimentConfig config = Fig05aMiniConfig();
+    config.fault_plan.SchedulerFailover(FromMillis(7));
+    config.fault_settle = FromMillis(6);
+    return config;
+  };
+  cluster::ExperimentResult a = RunExperiment(make());
+  cluster::ExperimentResult b = RunExperiment(make());
+
+  EXPECT_GT(a.counters.failovers, 0u);
+  EXPECT_GT(a.recovery.executor_rehomes, 0u);
+  EXPECT_EQ(a.metrics->tasks_submitted(), b.metrics->tasks_submitted());
+  EXPECT_EQ(a.metrics->tasks_completed(), b.metrics->tasks_completed());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.metrics->e2e_delay().Percentile(q), b.metrics->e2e_delay().Percentile(q))
+        << "q=" << q;
+    EXPECT_EQ(a.metrics->e2e_during_fault().Percentile(q),
+              b.metrics->e2e_during_fault().Percentile(q))
+        << "q=" << q;
+    EXPECT_EQ(a.metrics->e2e_post_fault().Percentile(q),
+              b.metrics->e2e_post_fault().Percentile(q))
+        << "q=" << q;
+  }
+  EXPECT_EQ(a.recovery.time_to_recover, b.recovery.time_to_recover);
+  EXPECT_EQ(a.recovery.unavailability, b.recovery.unavailability);
+  EXPECT_EQ(a.recovery.tasks_resubmitted, b.recovery.tasks_resubmitted);
+  EXPECT_EQ(a.recovery.tasks_lost, b.recovery.tasks_lost);
+  EXPECT_EQ(a.recovery.client_rehomes, b.recovery.client_rehomes);
+  EXPECT_EQ(a.recovery.executor_rehomes, b.recovery.executor_rehomes);
+  EXPECT_EQ(a.recovery.packets_dropped, b.recovery.packets_dropped);
+  EXPECT_EQ(a.counters.failovers, b.counters.failovers);
 }
 
 // Builds a randomized self-extending event graph on `sim`: chains that

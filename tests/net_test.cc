@@ -279,6 +279,110 @@ TEST(NetworkTest, ReconnectRestoresDelivery) {
   EXPECT_EQ(b.received.size(), 1u);
 }
 
+TEST(NetworkTest, RemoveDropRestoresDelivery) {
+  Fixture f;
+  Recorder a;
+  Recorder b;
+  const NodeId ida = f.network.Register(&a, HostProfile::Wire());
+  const NodeId idb = f.network.Register(&b, HostProfile::Wire());
+  f.network.InjectDrop(ida, idb, 1.0);
+  f.network.RemoveDrop(ida, idb);
+
+  Packet p;
+  p.dst = idb;
+  f.network.Send(ida, std::move(p));
+  f.simulator.RunAll();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+// Delivery times with jitter enabled must be bit-identical with and without a
+// p=0 drop rule installed: the rule's probability draws come from the
+// dedicated fault stream, not the jitter stream.
+TEST(NetworkTest, ZeroProbabilityDropRuleDoesNotPerturbJitter) {
+  class TimedRecorder : public Endpoint {
+   public:
+    explicit TimedRecorder(sim::Simulator* simulator) : simulator_(simulator) {}
+    void HandlePacket(Packet) override { times.push_back(simulator_->Now()); }
+    std::vector<TimeNs> times;
+
+   private:
+    sim::Simulator* simulator_;
+  };
+
+  NetworkConfig cfg;
+  cfg.max_jitter = 500;  // jitter stream active
+  cfg.seed = 7;
+
+  std::vector<TimeNs> baseline;
+  for (const bool with_rule : {false, true}) {
+    sim::Simulator simulator;
+    Network network(&simulator, cfg);
+    TimedRecorder a(&simulator);
+    TimedRecorder b(&simulator);
+    const NodeId ida = network.Register(&a, HostProfile::Wire());
+    const NodeId idb = network.Register(&b, HostProfile::Wire());
+    if (with_rule) {
+      network.InjectDrop(ida, idb, 0.0);
+    }
+    for (int i = 0; i < 32; ++i) {
+      Packet p;
+      p.dst = idb;
+      network.Send(ida, std::move(p));
+    }
+    simulator.RunAll();
+    ASSERT_EQ(b.times.size(), 32u);
+    if (!with_rule) {
+      baseline = b.times;
+    } else {
+      EXPECT_EQ(b.times, baseline);
+    }
+  }
+}
+
+// §3.3: a hard node failure also loses packets already in flight toward the
+// node — disconnection is re-checked at delivery time.
+TEST(NetworkTest, DisconnectDropsInFlightPackets) {
+  Fixture f;
+  Recorder a;
+  Recorder b;
+  const NodeId ida = f.network.Register(&a, HostProfile::Wire());
+  const NodeId idb = f.network.Register(&b, HostProfile::Wire());
+
+  Packet p;
+  p.dst = idb;
+  f.network.Send(ida, std::move(p));  // arrives at t=2000 (two hops)
+  f.simulator.At(1000, [&] { f.network.Disconnect(idb); });
+  f.simulator.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(f.network.packets_dropped(), 1u);
+  EXPECT_EQ(f.network.packets_delivered(), 0u);
+}
+
+TEST(NetworkTest, LatencyPenaltyStacksAndUndoes) {
+  Fixture f;
+  Recorder a;
+  Recorder b;
+  const NodeId ida = f.network.Register(&a, HostProfile::Wire());
+  const NodeId idb = f.network.Register(&b, HostProfile::Wire());
+
+  f.network.AddLatencyPenalty(5000);
+  Packet slow;
+  slow.dst = idb;
+  f.network.Send(ida, std::move(slow));  // 2000 ns base + 5000 penalty
+  f.simulator.RunUntil(6999);
+  EXPECT_TRUE(b.received.empty());
+  f.simulator.RunUntil(7001);
+  EXPECT_EQ(b.received.size(), 1u);
+
+  f.network.AddLatencyPenalty(-5000);
+  EXPECT_EQ(f.network.latency_penalty(), 0);
+  Packet fast;
+  fast.dst = idb;
+  f.network.Send(ida, std::move(fast));
+  f.simulator.RunAll();
+  EXPECT_EQ(b.received.size(), 2u);
+}
+
 TEST(PacketTest, PayloadBytesCountTowardWireSize) {
   Packet p;
   p.op = OpCode::kParamData;

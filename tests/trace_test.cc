@@ -469,5 +469,50 @@ TEST(TraceFailureTest, RehomingTimelineSpansSwitchFailover) {
   EXPECT_GT(enqueues_on_b, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Injector-driven failover through RunExperiment: the outage renders as one
+// kFaultWindow global span, and every rehome (executor fleet at promotion,
+// clients through their own timeouts) is exactly one kRehome global record.
+// ---------------------------------------------------------------------------
+
+TEST(TraceFaultTest, FailoverExperimentEmitsFaultWindowAndRehomeSpans) {
+  cluster::ExperimentConfig config = TracedConfig();
+  const TimeNs failover_at = FromMillis(4);
+  config.fault_plan.SchedulerFailover(failover_at);
+  cluster::ExperimentResult result = cluster::RunExperiment(config);
+  ASSERT_NE(result.trace, nullptr);
+
+  std::vector<const SpanRecord*> windows;
+  std::map<uint32_t, size_t> rehomes_per_node;
+  for (const SpanRecord& rec : result.trace->records()) {
+    if (rec.kind == Kind::kFaultWindow) {
+      windows.push_back(&rec);
+    } else if (rec.kind == Kind::kRehome) {
+      EXPECT_TRUE(rec.id == trace::kGlobalTaskId);
+      rehomes_per_node[rec.node] += 1;
+    }
+  }
+
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_TRUE(windows[0]->id == trace::kGlobalTaskId);
+  EXPECT_EQ(windows[0]->begin, failover_at);
+  EXPECT_GT(windows[0]->end, windows[0]->begin) << "the outage band must have extent";
+
+  // One kRehome per rehomed node: the whole executor fleet re-points at the
+  // standby at promotion, and each client that hit its timeout streak flips
+  // exactly once (the stale-timeout guard prevents ping-pong back to the
+  // dead switch).
+  const uint64_t expected =
+      result.recovery.executor_rehomes + result.recovery.client_rehomes;
+  EXPECT_GT(result.recovery.executor_rehomes, 0u);
+  uint64_t total = 0;
+  for (const auto& [node, count] : rehomes_per_node) {
+    EXPECT_EQ(count, 1u) << "node " << node << " rehomed more than once";
+    total += count;
+  }
+  EXPECT_EQ(total, expected);
+  EXPECT_EQ(result.recovery.tasks_lost, 0u);
+}
+
 }  // namespace
 }  // namespace draconis
