@@ -35,6 +35,9 @@ draconis_add_bench(fig11_resource)
 draconis_add_bench(fig12_priority)
 draconis_add_bench(fig13_gettask_overhead)
 draconis_add_bench(fig14_failover)
+# Not a paper figure: the PIFO switch-policy platform (docs/pifo.md);
+# emits BENCH_pifo.json in CI.
+draconis_add_bench(fig_pifo_policies)
 draconis_add_bench(tab_efficiency)
 draconis_add_bench(tab_capacity)
 draconis_add_bench(tab_ablation)

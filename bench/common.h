@@ -22,6 +22,7 @@
 #include "cluster/deployment.h"
 #include "cluster/experiment.h"
 #include "common/flags.h"
+#include "core/rank_function.h"
 #include "fault/plan.h"
 #include "sweep/report.h"
 #include "sweep/sweep.h"
@@ -136,6 +137,16 @@ inline bool KeepScheduler(const std::string& choice, cluster::SchedulerKind kind
   return cluster::SchedulerKindFromName(choice, &want) && want == kind;
 }
 
+// Valid values for the --switch-policy flag (AddChoice): the switch
+// queueing disciplines of docs/pifo.md, "fifo" first (the default).
+inline std::vector<std::string> SwitchPolicyChoices() {
+  std::vector<std::string> choices;
+  for (core::SwitchPolicy policy : core::AllSwitchPolicies()) {
+    choices.push_back(core::SwitchPolicyName(policy));
+  }
+  return choices;
+}
+
 // Drives one bench binary: owns the flag parser with the standard sweep
 // flags, executes the spec via sweep::RunSweep, and writes the --json /
 // --csv-dir reports. Bench-specific flags register through parser() before
@@ -174,6 +185,10 @@ class SweepRunner {
     parser_.AddString("fault-plan", &fault_plan_path_,
                       "apply this JSON fault plan to every sweep point "
                       "(docs/fault_injection.md)");
+    parser_.AddChoice("switch-policy", &switch_policy_, SwitchPolicyChoices(),
+                      "switch queueing discipline for every point (docs/pifo.md); "
+                      "non-fifo values need a PIFO-capable kind — combine with "
+                      "--scheduler=draconis");
   }
 
   flags::Parser& parser() { return parser_; }
@@ -222,8 +237,24 @@ class SweepRunner {
     // untraced ones (tests/determinism_test.cc).
     const sweep::SweepSpec* active = &spec;
     sweep::SweepSpec modified;
-    if (trace_ || !fault_plan_path_.empty()) {
+    if (trace_ || !fault_plan_path_.empty() || switch_policy_ != "fifo") {
       modified = spec;
+      // --switch-policy: the same switch queueing discipline on every point.
+      // Points whose scheduler kind cannot host a PIFO fail validation, so a
+      // mixed-kind sweep needs a --scheduler filter first.
+      if (switch_policy_ != "fifo") {
+        core::SwitchPolicy sp = core::SwitchPolicy::kFifo;
+        core::SwitchPolicyFromName(switch_policy_, &sp);  // choices pre-validated
+        for (sweep::SweepPoint& point : modified.points) {
+          point.config.switch_policy = sp;
+          const std::string invalid = point.config.Validate();
+          if (!invalid.empty()) {
+            std::fprintf(stderr, "--switch-policy: point %s: %s\n", point.label.c_str(),
+                         invalid.c_str());
+            std::exit(2);
+          }
+        }
+      }
       if (trace_) {
         for (sweep::SweepPoint& point : modified.points) {
           point.config.trace.enabled = true;
@@ -303,6 +334,7 @@ class SweepRunner {
   int64_t trace_sample_ = 64;
   std::string trace_dir_ = ".";
   std::string fault_plan_path_;
+  std::string switch_policy_ = "fifo";
   TimeNs horizon_ = RunHorizon();
 };
 

@@ -1,0 +1,202 @@
+// PIFO policy platform (docs/pifo.md): the same switch, five queueing
+// disciplines. Sweeps the rank-ordered switch policies (strict priority,
+// SRPT, EDF, per-tenant WFQ) against the FIFO baseline on the fig05a-shaped
+// 500 us fixed workload and on the paper's bimodal workload (where the rank
+// actually has something to separate), plus a fig05b-style no-op throughput
+// point per policy showing the PIFO does not throttle the decision rate.
+//
+// Not a paper figure: Draconis hard-codes FIFO; this bench is the repo's
+// "Programmable Packet Scheduling" extension (Sivaraman et al.). Expected
+// shape: strict-priority-on-untagged and SRPT-on-fixed degenerate to FIFO;
+// SRPT cuts p50/mean slowdown on the bimodal mix at high load; EDF tracks
+// FIFO on homogeneous deadlines; WFQ isolates the heavy tenant.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace draconis;
+using namespace draconis::bench;
+using namespace draconis::cluster;
+
+namespace {
+
+struct Family {
+  const char* name;
+  workload::ServiceTime service;
+};
+
+// Tags the stream with whatever TPROPS payload the policy ranks on. The
+// arrivals and durations are identical across policies — only the tag
+// interpretation differs — so the comparison isolates the discipline.
+void TagForPolicy(core::SwitchPolicy policy, workload::JobStream& stream, uint64_t seed) {
+  switch (policy) {
+    case core::SwitchPolicy::kStrictPriority:
+      workload::TagPriorities(stream, workload::PaperPriorityMix(), seed + 101);
+      break;
+    case core::SwitchPolicy::kEdf:
+      workload::TagDeadlines(stream, /*slack=*/3.0, /*jitter_us=*/200, seed + 102);
+      break;
+    case core::SwitchPolicy::kWfq:
+      workload::TagTenants(stream, /*num_tenants=*/2, seed + 103);
+      break;
+    default:
+      break;  // fifo and srpt rank on arrival order / declared duration
+  }
+}
+
+// A fig05b-style no-op throughput point on a 26-executor slice (small enough
+// that every policy's point generates a tractable stream, large enough that
+// the switch queue sees real occupancy).
+ExperimentConfig NoOpConfig(TimeNs horizon) {
+  ExperimentConfig config;
+  config.scheduler = SchedulerKind::kDraconis;
+  config.num_workers = 2;
+  config.executors_per_worker = 13;
+  config.num_clients = 8;
+  config.noop_executors = true;
+  config.warmup = FromMillis(5);
+  config.horizon = horizon;
+  config.seed = 7;
+  config.max_tasks_per_packet = 1;
+
+  // Per-executor no-op pull rate (fig05b calibration) x 26, fed 2% under so
+  // the executors — not the submission plane — stay the cap.
+  const double feed_tps = 0.98 * 280e3 * 26.0;
+  workload::OpenLoopSpec spec;
+  spec.tasks_per_second = feed_tps;
+  spec.duration = config.horizon;
+  spec.tasks_per_job = 16;
+  spec.service = workload::ServiceTime::Fixed(0);
+  spec.seed = 7;
+  config.stream = workload::GenerateOpenLoop(spec);
+  return config;
+}
+
+double SlowdownX(const stats::Histogram& slowdown_milli, double q) {
+  return slowdown_milli.count() == 0
+             ? 0.0
+             : static_cast<double>(slowdown_milli.Percentile(q)) / 1000.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepRunner runner("PIFO policies",
+                     "switch queueing disciplines on the fig05a/fig05b workloads");
+  runner.ParseFlagsOrExit(argc, argv);
+
+  const std::vector<Family> families = {
+      {"500us", workload::ServiceTime::Fixed(FromMicros(500))},
+      {"bimodal", workload::ServiceTime::PaperBimodal()},
+  };
+  std::vector<double> utils = {0.4, 0.7, 0.9};
+  if (Quick()) {
+    utils = {0.5, 0.8};
+  }
+
+  sweep::SweepSpec spec;
+  spec.name = "pifo_policies";
+  spec.title = "switch queueing disciplines on the fig05a/fig05b workloads";
+  spec.axis = {"offered utilization", "fraction"};
+  for (core::SwitchPolicy policy : core::AllSwitchPolicies()) {
+    const char* pname = core::SwitchPolicyName(policy);
+    for (const Family& family : families) {
+      for (double util : utils) {
+        sweep::SweepPoint point;
+        point.series = std::string(pname) + "/" + family.name;
+        point.x = util;
+        char label[64];
+        std::snprintf(label, sizeof(label), "%s-%s@u%.0f", pname, family.name, util * 100);
+        point.label = label;
+        const double tps = UtilToTps(util, family.service.Mean());
+        point.config = SyntheticConfig(SchedulerKind::kDraconis, tps, family.service, 42,
+                                       10, runner.horizon());
+        point.config.switch_policy = policy;
+        point.config.wfq_weights = {3, 1};
+        TagForPolicy(policy, point.config.stream, point.config.seed);
+        spec.points.push_back(std::move(point));
+      }
+    }
+    // One no-op decision-throughput point per policy (fig05b workload).
+    sweep::SweepPoint noop;
+    noop.series = std::string("noop/") + pname;
+    noop.x = 1.0;
+    noop.label = std::string("noop-") + pname;
+    noop.config = NoOpConfig(runner.horizon());
+    noop.config.switch_policy = policy;
+    noop.config.wfq_weights = {3, 1};
+    spec.points.push_back(std::move(noop));
+  }
+
+  const std::vector<sweep::SweepPointResult> results = runner.Run(
+      spec, [](std::vector<sweep::SweepPointResult>& points) {
+        for (sweep::SweepPointResult& point : points) {
+          if (point.result.metrics == nullptr) {
+            continue;
+          }
+          point.scalars["slowdown_p50_x"] =
+              SlowdownX(point.result.metrics->slowdown_milli(), 0.50);
+          point.scalars["slowdown_p99_x"] =
+              SlowdownX(point.result.metrics->slowdown_milli(), 0.99);
+        }
+      });
+
+  // The latency table: per policy x family row, e2e p50/p99 per utilization.
+  const size_t per_policy = families.size() * utils.size() + 1;  // + the noop point
+  std::printf("%-16s", "e2e delay");
+  for (double util : utils) {
+    char head[32];
+    std::snprintf(head, sizeof(head), "u=%.2f p50/p99", util);
+    std::printf(" %23s", head);
+  }
+  std::printf("\n");
+  for (size_t p = 0; p < core::AllSwitchPolicies().size(); ++p) {
+    for (size_t f = 0; f < families.size(); ++f) {
+      const size_t base = p * per_policy + f * utils.size();
+      std::printf("%-16s", results[base].series.c_str());
+      for (size_t u = 0; u < utils.size(); ++u) {
+        const cluster::MetricsHub& m = *results[base + u].result.metrics;
+        std::printf(" %11s/%-11s", FormatDuration(m.e2e_delay().Percentile(0.50)).c_str(),
+                    P99OrNone(m.e2e_delay()).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n%-16s", "slowdown (x)");
+  for (double util : utils) {
+    char head[32];
+    std::snprintf(head, sizeof(head), "u=%.2f p50/p99", util);
+    std::printf(" %23s", head);
+  }
+  std::printf("\n");
+  for (size_t p = 0; p < core::AllSwitchPolicies().size(); ++p) {
+    for (size_t f = 0; f < families.size(); ++f) {
+      const size_t base = p * per_policy + f * utils.size();
+      std::printf("%-16s", results[base].series.c_str());
+      for (size_t u = 0; u < utils.size(); ++u) {
+        const stats::Histogram& s = results[base + u].result.metrics->slowdown_milli();
+        std::printf(" %11.2f/%-11.2f", SlowdownX(s, 0.50), SlowdownX(s, 0.99));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nno-op decision rate (fig05b workload, 26 executors):\n");
+  for (size_t p = 0; p < core::AllSwitchPolicies().size(); ++p) {
+    const sweep::SweepPointResult& noop = results[p * per_policy + per_policy - 1];
+    std::printf("  %-6s %8.2f M decisions/s\n",
+                core::SwitchPolicyName(core::AllSwitchPolicies()[p]),
+                noop.result.throughput_tps / 1e6);
+  }
+
+  std::printf(
+      "\nShape check: sp/srpt track fifo on the fixed 500 us workload (equal ranks\n"
+      "degenerate to FIFO); srpt cuts the bimodal slowdown tail; wfq holds the\n"
+      "weight-3 tenant's latency under contention; the no-op rate is flat across\n"
+      "policies (the PIFO block costs no extra passes).\n");
+  return 0;
+}

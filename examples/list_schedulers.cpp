@@ -15,6 +15,7 @@
 
 #include "cluster/deployment.h"
 #include "cluster/experiment.h"
+#include "core/rank_function.h"
 
 using namespace draconis;
 
@@ -30,9 +31,24 @@ int main(int argc, char** argv) {
     return registry.all().empty() ? 1 : 0;
   }
 
+  // --switch-policies <kind>: the kind's supported switch queueing
+  // disciplines (docs/pifo.md), one flag spelling per line, "fifo" first —
+  // the inner axis of the CI per-scheduler bench smoke loop.
+  if (argc > 2 && std::strcmp(argv[1], "--switch-policies") == 0) {
+    const cluster::DeploymentInfo* info = registry.FindByName(argv[2]);
+    if (info == nullptr) {
+      std::fprintf(stderr, "unknown scheduler kind: %s\n", argv[2]);
+      return 1;
+    }
+    for (core::SwitchPolicy policy : info->switch_policies) {
+      std::printf("%s\n", core::SwitchPolicyName(policy));
+    }
+    return 0;
+  }
+
   std::printf("%zu registered scheduler deployments:\n\n", registry.all().size());
-  std::printf("%-24s %-16s %-10s %s\n", "scheduler", "--scheduler", "replicas",
-              "policies");
+  std::printf("%-24s %-16s %-10s %-36s %s\n", "scheduler", "--scheduler", "replicas",
+              "policies", "switch-policies");
   for (const cluster::DeploymentInfo& info : registry.all()) {
     std::string policies;
     for (cluster::PolicyKind policy : info.policies) {
@@ -41,8 +57,16 @@ int main(int argc, char** argv) {
       }
       policies += cluster::PolicyKindName(policy);
     }
-    std::printf("%-24s %-16s %-10s %s\n", info.canonical_name, info.flag_name,
-                info.multi_scheduler ? "yes" : "no", policies.c_str());
+    std::string switch_policies;
+    for (core::SwitchPolicy policy : info.switch_policies) {
+      if (!switch_policies.empty()) {
+        switch_policies += ", ";
+      }
+      switch_policies += core::SwitchPolicyName(policy);
+    }
+    std::printf("%-24s %-16s %-10s %-36s %s\n", info.canonical_name, info.flag_name,
+                info.multi_scheduler ? "yes" : "no", policies.c_str(),
+                switch_policies.c_str());
   }
   std::printf("\nAdd a scheduler by writing one deployment file pair next to it and\n"
               "registering it in the DeploymentRegistry constructor — every bench,\n"

@@ -132,6 +132,11 @@ struct DeploymentInfo {
   const char* flag_name;
   // PolicyKinds this kind honors; any other policy is a config error.
   std::vector<PolicyKind> policies;
+  // Switch queueing disciplines the kind supports. Every kind runs the
+  // implicit FIFO; only PIFO-capable kinds (the in-network Draconis) list
+  // the rank-ordered family (docs/pifo.md). Drives the --switch-policy flag
+  // validation and the list_schedulers --switch-policies output.
+  std::vector<core::SwitchPolicy> switch_policies = {core::SwitchPolicy::kFifo};
   // Whether num_schedulers > 1 deploys replicated instances (Sparrow).
   bool multi_scheduler = false;
   // Whether the kind can build a standby and honor a §3.3 scheduler_failover

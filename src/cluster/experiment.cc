@@ -92,6 +92,37 @@ std::string ExperimentConfig::Validate() const {
            std::to_string(num_workers) + " workers)";
   }
 
+  if (switch_policy != core::SwitchPolicy::kFifo) {
+    bool switch_policy_supported = false;
+    for (core::SwitchPolicy p : info.switch_policies) {
+      switch_policy_supported = switch_policy_supported || p == switch_policy;
+    }
+    if (!switch_policy_supported) {
+      return std::string(info.canonical_name) + " runs the fixed FIFO switch queue; "
+             "switch policy '" + core::SwitchPolicyName(switch_policy) +
+             "' needs a PIFO-capable scheduler kind (draconis)";
+    }
+    if (policy != PolicyKind::kFcfs) {
+      return std::string("switch policy '") + core::SwitchPolicyName(switch_policy) +
+             "' replaces the retrieval discipline; combine it with the fcfs policy "
+             "(priority/resource/locality need the per-level queues and swap walks)";
+    }
+    if (parallel_priority_stages) {
+      return "parallel_priority_stages is a per-level-queue layout; the single PIFO "
+             "has no levels to probe";
+    }
+  }
+  if (switch_policy == core::SwitchPolicy::kWfq) {
+    if (wfq_weights.empty()) {
+      return "wfq switch policy needs at least one tenant weight";
+    }
+    for (uint32_t w : wfq_weights) {
+      if (w == 0) {
+        return "wfq tenant weights must be positive";
+      }
+    }
+  }
+
   const TimeNs last_arrival = stream.empty() ? 0 : stream.back().at;
   if (warmup >= EffectiveHorizon(*this, last_arrival)) {
     return "warmup must end before the horizon (warmup=" + std::to_string(warmup) +

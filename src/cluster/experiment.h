@@ -28,6 +28,7 @@
 #include "cluster/metrics.h"
 #include "cluster/scheduler_counters.h"
 #include "core/policy.h"
+#include "core/rank_function.h"
 #include "fault/plan.h"
 #include "net/network.h"
 #include "p4/pipeline.h"
@@ -81,6 +82,12 @@ struct ExperimentConfig {
   size_t queue_capacity = 164 * 1024;
   bool shadow_copy_dequeue = true;  // false: the paper's §4.5 textbook dequeue
   bool parallel_priority_stages = false;  // Tofino-2 layout (§6.1/§8.7)
+  // Switch queueing discipline (docs/pifo.md). kFifo is the paper's circular
+  // queue; any other value replaces it with a rank-ordered PIFO and needs a
+  // PIFO-capable kind (DeploymentInfo::switch_policies) plus the fcfs policy
+  // (rank order replaces the per-level/swap machinery of the other policies).
+  core::SwitchPolicy switch_policy = core::SwitchPolicy::kFifo;
+  std::vector<uint32_t> wfq_weights = {1, 1};  // per-tenant weights (TPROPS = tenant)
 
   // Workload and run control.
   workload::JobStream stream;

@@ -68,6 +68,9 @@ void MetricsHub::RecordEndToEnd(const net::TaskInfo& task, TimeNs completion_tim
   }
   const TimeNs delay = std::max<TimeNs>(0, completion_time - task.meta.first_submit_time);
   e2e_delay_.Record(delay);
+  if (task.meta.exec_duration > 0) {
+    slowdown_milli_.Record(delay * 1000 / task.meta.exec_duration);
+  }
   if (fault_start_ < 0) {
     return;
   }

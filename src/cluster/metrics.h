@@ -86,6 +86,11 @@ class MetricsHub {
   const stats::Histogram& sched_delay() const { return sched_delay_; }
   const stats::Histogram& queueing_delay() const { return queueing_delay_; }
   const stats::Histogram& e2e_delay() const { return e2e_delay_; }
+  // Per-task slowdown (end-to-end delay / declared execution time), recorded
+  // in 1/1000ths so the integer histogram keeps 3 decimal digits; tasks with
+  // no declared duration (no-ops) are skipped. The policy-comparison metric
+  // of bench/fig_pifo_policies (SRPT optimizes mean slowdown, not latency).
+  const stats::Histogram& slowdown_milli() const { return slowdown_milli_; }
   const stats::Histogram& get_task_delay() const { return get_task_delay_; }
   const stats::Histogram& priority_queueing(size_t level_1based) const;
   const stats::Histogram& priority_get_task(size_t level_1based) const;
@@ -133,6 +138,7 @@ class MetricsHub {
   stats::Histogram sched_delay_;
   stats::Histogram queueing_delay_;
   stats::Histogram e2e_delay_;
+  stats::Histogram slowdown_milli_;
   stats::Histogram get_task_delay_;
   std::vector<stats::Histogram> priority_queueing_;
   std::vector<stats::Histogram> priority_get_task_;

@@ -30,7 +30,13 @@ DraconisDeployment::Instance DraconisDeployment::BuildInstance(cluster::Testbed&
   dc.queue_capacity = cfg.queue_capacity;
   dc.shadow_copy_dequeue = cfg.shadow_copy_dequeue;
   dc.parallel_priority_stages = cfg.parallel_priority_stages;
-  inst.program = std::make_unique<DraconisProgram>(inst.policy.get(), dc);
+  // PIFO mode (docs/pifo.md): a non-FIFO switch policy swaps the circular
+  // queue for a rank-ordered PIFO; Validate() already pinned policy == fcfs.
+  RankFunctionConfig rank_config;
+  rank_config.wfq_weights = cfg.wfq_weights;
+  inst.rank_function = MakeRankFunction(cfg.switch_policy, rank_config);
+  inst.program = std::make_unique<DraconisProgram>(inst.policy.get(), dc, nullptr,
+                                                   inst.rank_function.get());
   inst.program->SetRecorder(testbed.recorder());
   if (attach_as_switch) {
     inst.pipeline = std::make_unique<p4::SwitchPipeline>(testbed, inst.program.get(), cfg.pipeline);
@@ -116,6 +122,7 @@ cluster::DeploymentInfo DraconisDeploymentInfo() {
   info.flag_name = "draconis";
   info.policies = {cluster::PolicyKind::kFcfs, cluster::PolicyKind::kPriority,
                    cluster::PolicyKind::kResource, cluster::PolicyKind::kLocality};
+  info.switch_policies = AllSwitchPolicies();
   info.failover = true;
   info.make = [](const cluster::ExperimentConfig& config) {
     return std::make_unique<DraconisDeployment>(config);

@@ -24,11 +24,13 @@ class DraconisDeployment : public cluster::PullBasedDeployment {
   bool Failover(cluster::Testbed& testbed) override;
 
  private:
-  // One scheduler instance: a policy, the program running it, and the
-  // pipeline hosting the program. Built twice when a §3.3 fault plan asks
-  // for a failover (active switch + cold standby).
+  // One scheduler instance: a policy, the rank function (PIFO mode only),
+  // the program running them, and the pipeline hosting the program. Built
+  // twice when a §3.3 fault plan asks for a failover (active switch + cold
+  // standby).
   struct Instance {
     std::unique_ptr<SchedulingPolicy> policy;
+    std::unique_ptr<RankFunction> rank_function;
     std::unique_ptr<DraconisProgram> program;
     std::unique_ptr<p4::SwitchPipeline> pipeline;
   };

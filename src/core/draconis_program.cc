@@ -8,12 +8,27 @@
 namespace draconis::core {
 
 DraconisProgram::DraconisProgram(SchedulingPolicy* policy, const DraconisConfig& config,
-                                 p4::ResourceLedger* ledger)
-    : policy_(policy), parallel_priority_stages_(config.parallel_priority_stages) {
+                                 p4::ResourceLedger* ledger, RankFunction* rank_function)
+    : policy_(policy),
+      parallel_priority_stages_(config.parallel_priority_stages),
+      rank_function_(rank_function) {
   DRACONIS_CHECK(policy != nullptr);
   DRACONIS_CHECK_MSG(!config.parallel_priority_stages || config.shadow_copy_dequeue,
                      "parallel priority stages need the shadow-copy dequeue (a textbook "
                      "dequeue would over-run every empty level it probes)");
+  if (rank_function != nullptr) {
+    // PIFO mode: the rank order carries the whole discipline, so per-level
+    // queues (and the per-level probe/stage machinery) make no sense here.
+    DRACONIS_CHECK_MSG(policy->num_queues() == 1,
+                       "PIFO mode replaces per-level queues; use a single-queue policy");
+    DRACONIS_CHECK_MSG(!config.parallel_priority_stages,
+                       "parallel priority stages are a per-level-queue layout; the single "
+                       "PIFO has no levels to probe");
+    pifo_ = std::make_unique<p4::Pifo<QueueEntry>>(
+        "pifo", config.queue_capacity, p4::PifoOverflow::kRejectArrival, ledger,
+        QueueEntry::kWireSize);
+    return;
+  }
   const size_t levels = policy->num_queues();
   DRACONIS_CHECK(levels >= 1);
   queues_.reserve(levels);
@@ -78,26 +93,41 @@ void DraconisProgram::HandleSubmission(p4::PassContext& ctx, net::Packet pkt) {
     entry.task.meta.enqueue_time = ctx.Now();
   }
 
-  const size_t q = std::min(policy_->QueueForTask(entry.task), queues_.size() - 1);
-  const SwitchQueue::EnqueueResult res = queues_[q]->Enqueue(ctx.registers(), entry);
+  size_t q = 0;
+  bool added = false;
+  uint64_t occupancy = 0;  // control-plane occupancy right after the insert
+  if (pifo_ != nullptr) {
+    // PIFO mode: rank first (match-action stages), then the single
+    // admit-or-reject port. A full PIFO refuses the arrival — no pointer
+    // repair exists or is needed, the client retries exactly as for a full
+    // circular queue.
+    const uint64_t rank = rank_function_->Rank(ctx.registers(), entry.task, ctx.Now());
+    added = pifo_->Push(ctx.registers(), rank, entry).admitted;
+    occupancy = pifo_->cp_size();
+  } else {
+    q = std::min(policy_->QueueForTask(entry.task), queues_.size() - 1);
+    const SwitchQueue::EnqueueResult res = queues_[q]->Enqueue(ctx.registers(), entry);
+    added = res.added;
+    occupancy = queues_[q]->cp_occupancy();
 
-  if (res.need_add_repair) {
-    LaunchRepair(ctx, q, net::RepairTarget::kAddPtr, res.add_repair_value);
-    if (recorder_ != nullptr && recorder_->Sampled(entry.task.id)) {
-      recorder_->Record(entry.task.id, trace::Kind::kRepairLaunch, ctx.Now(), ctx.Now(),
-                        res.add_repair_value, ctx.SwitchNode(), entry.task.meta.attempt, 0);
+    if (res.need_add_repair) {
+      LaunchRepair(ctx, q, net::RepairTarget::kAddPtr, res.add_repair_value);
+      if (recorder_ != nullptr && recorder_->Sampled(entry.task.id)) {
+        recorder_->Record(entry.task.id, trace::Kind::kRepairLaunch, ctx.Now(), ctx.Now(),
+                          res.add_repair_value, ctx.SwitchNode(), entry.task.meta.attempt, 0);
+      }
+    }
+    if (res.need_retrieve_repair) {
+      LaunchRepair(ctx, q, net::RepairTarget::kRetrievePtr, res.retrieve_repair_value);
+      if (recorder_ != nullptr && recorder_->Sampled(entry.task.id)) {
+        recorder_->Record(entry.task.id, trace::Kind::kRepairLaunch, ctx.Now(), ctx.Now(),
+                          res.retrieve_repair_value, ctx.SwitchNode(),
+                          entry.task.meta.attempt, 1);
+      }
     }
   }
-  if (res.need_retrieve_repair) {
-    LaunchRepair(ctx, q, net::RepairTarget::kRetrievePtr, res.retrieve_repair_value);
-    if (recorder_ != nullptr && recorder_->Sampled(entry.task.id)) {
-      recorder_->Record(entry.task.id, trace::Kind::kRepairLaunch, ctx.Now(), ctx.Now(),
-                        res.retrieve_repair_value, ctx.SwitchNode(), entry.task.meta.attempt,
-                        1);
-    }
-  }
 
-  if (!res.added) {
+  if (!added) {
     // Queue full (or a repair in flight): return every not-yet-enqueued task
     // to the client, which retries after a short wait (§4.3).
     ++counters_.queue_full_errors;
@@ -123,9 +153,8 @@ void DraconisProgram::HandleSubmission(p4::PassContext& ctx, net::Packet pkt) {
   if (recorder_ != nullptr && recorder_->Sampled(entry.task.id)) {
     // detail: control-plane occupancy of the queue right after this insert
     // (i.e. including this task) — the congestion seen at enqueue time.
-    recorder_->Record(entry.task.id, trace::Kind::kEnqueue, ctx.Now(), ctx.Now(),
-                      queues_[q]->cp_occupancy(), ctx.SwitchNode(),
-                      entry.task.meta.attempt, static_cast<uint16_t>(q));
+    recorder_->Record(entry.task.id, trace::Kind::kEnqueue, ctx.Now(), ctx.Now(), occupancy,
+                      ctx.SwitchNode(), entry.task.meta.attempt, static_cast<uint16_t>(q));
   }
   pkt.tasks.erase(pkt.tasks.begin());
   if (!pkt.tasks.empty()) {
@@ -150,6 +179,18 @@ void DraconisProgram::HandleSubmission(p4::PassContext& ctx, net::Packet pkt) {
 
 void DraconisProgram::HandleTaskRequest(p4::PassContext& ctx, net::Packet pkt) {
   DRACONIS_CHECK_MSG(pkt.rtrv_prio >= 1, "RTRV_PRIO is 1-based");
+  if (pifo_ != nullptr) {
+    // PIFO mode: the head is by construction the task the policy wants next,
+    // so a successful pop always assigns (no swap walks, no level probes).
+    const p4::Pifo<QueueEntry>::PopResult pop = pifo_->Pop(ctx.registers());
+    if (!pop.got) {
+      SendNoOp(ctx, pkt.src);
+      return;
+    }
+    rank_function_->OnDequeue(ctx.registers(), pop.rank);
+    Assign(ctx, pop.value, pkt.src);
+    return;
+  }
   size_t q = std::min<size_t>(pkt.rtrv_prio - 1, queues_.size() - 1);
   const net::NodeId executor = pkt.src;
 
@@ -202,6 +243,12 @@ void DraconisProgram::HandleTaskRequest(p4::PassContext& ctx, net::Packet pkt) {
 }
 
 void DraconisProgram::HandleSwap(p4::PassContext& ctx, net::Packet pkt) {
+  if (pifo_ != nullptr) {
+    // PIFO mode never starts a swap walk; a stray swap packet is a bug in
+    // the sender, not in the queue, so drop it instead of crashing.
+    ctx.Drop(pkt, "info_pifo_unexpected_swap");
+    return;
+  }
   const size_t q = std::min<size_t>(pkt.queue_index, queues_.size() - 1);
 
   QueueEntry carried;
@@ -263,6 +310,11 @@ void DraconisProgram::HandleSwap(p4::PassContext& ctx, net::Packet pkt) {
 }
 
 void DraconisProgram::HandleRepair(p4::PassContext& ctx, net::Packet pkt) {
+  if (pifo_ != nullptr) {
+    // No pointers to repair in PIFO mode (see HandleSwap).
+    ctx.Drop(pkt, "info_pifo_unexpected_repair");
+    return;
+  }
   const size_t q = std::min<size_t>(pkt.queue_index, queues_.size() - 1);
   queues_[q]->ApplyRepair(ctx.registers(), pkt.repair_target, pkt.repair_value);
   if (pkt.repair_target == net::RepairTarget::kAddPtr) {

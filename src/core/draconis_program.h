@@ -21,7 +21,10 @@
 #include <vector>
 
 #include "core/policy.h"
+#include "core/queue_entry.h"
+#include "core/rank_function.h"
 #include "core/switch_queue.h"
+#include "p4/pifo.h"
 #include "p4/pipeline.h"
 #include "p4/register.h"
 #include "trace/recorder.h"
@@ -45,6 +48,15 @@ struct DraconisConfig {
   bool parallel_priority_stages = false;
 };
 
+// Packet handling is identical in PIFO mode (docs/pifo.md) except that the
+// per-level circular queues are replaced by one rank-ordered p4::Pifo: a
+// submission computes the task's rank and pushes (full -> the same
+// error-to-client path, minus the pointer repairs the circular queue needs);
+// a task_request pops the minimum-rank task and always assigns it (the rank
+// order *is* the policy, so there is no policy-mismatch swap walk and no
+// per-level probe). Swap and repair packets cannot occur and are dropped
+// defensively.
+
 struct DraconisCounters {
   uint64_t tasks_enqueued = 0;
   uint64_t tasks_assigned = 0;
@@ -62,9 +74,12 @@ struct DraconisCounters {
 class DraconisProgram : public p4::SwitchProgram {
  public:
   // `policy` must outlive the program. `ledger` (optional) accounts register
-  // memory.
+  // memory. A non-null `rank_function` (which must also outlive the program)
+  // selects PIFO mode; it requires a single-queue policy (the rank order
+  // replaces per-level queues) and is incompatible with
+  // parallel_priority_stages.
   DraconisProgram(SchedulingPolicy* policy, const DraconisConfig& config,
-                  p4::ResourceLedger* ledger = nullptr);
+                  p4::ResourceLedger* ledger = nullptr, RankFunction* rank_function = nullptr);
 
   void OnPass(p4::PassContext& ctx, net::Packet pkt) override;
 
@@ -72,6 +87,8 @@ class DraconisProgram : public p4::SwitchProgram {
   const SwitchQueue& queue(size_t i) const { return *queues_[i]; }
   size_t num_queues() const { return queues_.size(); }
   SchedulingPolicy* policy() const { return policy_; }
+  bool pifo_mode() const { return pifo_ != nullptr; }
+  const p4::Pifo<QueueEntry>& pifo() const { return *pifo_; }
 
   // Optional task-lifecycle recorder (nullable; never affects behaviour).
   void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
@@ -99,6 +116,8 @@ class DraconisProgram : public p4::SwitchProgram {
   bool parallel_priority_stages_;
   trace::Recorder* recorder_ = nullptr;
   std::vector<std::unique_ptr<SwitchQueue>> queues_;
+  RankFunction* rank_function_ = nullptr;
+  std::unique_ptr<p4::Pifo<QueueEntry>> pifo_;  // non-null only in PIFO mode
   DraconisCounters counters_;
 };
 

@@ -35,6 +35,17 @@
 // capacity. (The paper uses 32-bit pointers; 64-bit is behaviourally
 // identical within any run and sidesteps wraparound arithmetic.)
 //
+// Tie-break contract: within one queue, dequeue order is exactly the order
+// in which entries were ADMITTED (Enqueue returned added) — strict FIFO. In
+// the priority pipeline each level owns its own SwitchQueue, so
+// equal-priority tasks dequeue in arrival order. Repair episodes refuse or
+// no-op operations but never reorder admitted entries, in either dequeue
+// mode. The PIFO platform (docs/pifo.md) leans on this: its rank-tie
+// resolution is FIFO-by-arrival precisely so the strict-priority rank
+// function reproduces this queue bit for bit, and
+// switch_queue_test.EqualPriorityTasksDequeueInArrivalOrderAcrossRepairs
+// pins the contract.
+//
 // All methods that take a PacketPass perform register accesses and must be
 // called at most once per pass, per queue.
 

@@ -1,0 +1,228 @@
+// PIFO (push-in-first-out) queue model of a programmable switch.
+//
+// Sivaraman et al., "Programmable Packet Scheduling at Line Rate": a single
+// hardware primitive — a bounded priority queue that admits an element at the
+// position its *rank* dictates and only ever dequeues from the head — can
+// express strict priority, SRPT, EDF, weighted fairness, and most other
+// work-conserving disciplines purely by changing the rank computation. The
+// rank is computed in the match-action stages *before* the PIFO block, so the
+// block itself stays policy-free.
+//
+// This model follows the same register discipline as RegisterArray
+// (register.h): the whole PIFO block counts as ONE register group, so a
+// packet pass may either Push or Pop once — a second operation throws
+// CheckFailure, exactly like touching a RegisterArray twice. That matches the
+// hardware, where the PIFO is a dedicated block with a single
+// admit-or-dequeue port per packet time.
+//
+// Ordering contract (pinned by tests/pifo_property_test.cc):
+//   - Pop returns the element with the smallest rank.
+//   - Equal ranks dequeue in arrival order (FIFO): every Push consumes one
+//     arrival sequence number, admitted or not, and ties are broken by it.
+//   - At capacity, kRejectArrival refuses the incoming element;
+//     kEvictLowestPriority evicts the worst-ordered resident element
+//     (largest rank, youngest arrival) if the incoming element orders before
+//     it, and refuses the arrival otherwise.
+//
+// Register budget: `capacity` elements of `wire_bytes_per_element` payload
+// plus an 8-byte rank per element, accounted in the ResourceLedger like any
+// other register group (paper §7 capacity analysis).
+
+#ifndef DRACONIS_P4_PIFO_H_
+#define DRACONIS_P4_PIFO_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "p4/register.h"
+
+namespace draconis::p4 {
+
+enum class PifoOverflow : uint8_t {
+  kRejectArrival,         // full: refuse the incoming element
+  kEvictLowestPriority,   // full: displace the worst-ordered resident element
+};
+
+template <typename T>
+class Pifo {
+ public:
+  Pifo(std::string name, size_t capacity,
+       PifoOverflow overflow = PifoOverflow::kRejectArrival, ResourceLedger* ledger = nullptr,
+       size_t wire_bytes_per_element = sizeof(T))
+      : name_(std::move(name)), capacity_(capacity), overflow_(overflow) {
+    DRACONIS_CHECK(capacity > 0);
+    if (ledger != nullptr) {
+      // Payload registers plus the per-element 8-byte rank store.
+      ledger->Account(name_, capacity, capacity * (wire_bytes_per_element + 8));
+    }
+    heap_.reserve(capacity);
+  }
+
+  Pifo(const Pifo&) = delete;
+  Pifo& operator=(const Pifo&) = delete;
+
+  struct PushResult {
+    bool admitted = false;
+    // kEvictLowestPriority displaced a resident element to make room.
+    bool evicted = false;
+    T evicted_value{};
+    uint64_t evicted_rank = 0;
+  };
+
+  // Admits `value` at the position `rank` dictates. Consumes this pass's
+  // single access to the PIFO block and one arrival sequence number.
+  PushResult Push(PacketPass& pass, uint64_t rank, T value) {
+    Claim(pass);
+    const uint64_t seq = next_seq_++;
+    PushResult result;
+    if (heap_.size() == capacity_) {
+      if (overflow_ == PifoOverflow::kRejectArrival) {
+        ++rejects_;
+        return result;
+      }
+      // kEvictLowestPriority: the incoming element carries the youngest
+      // arrival, so on a rank tie with the worst resident it is the one
+      // refused — FIFO-within-rank holds even across evictions.
+      const size_t worst = WorstIndex();
+      if (heap_[worst].rank <= rank) {
+        ++rejects_;
+        return result;
+      }
+      result.evicted = true;
+      result.evicted_value = std::move(heap_[worst].value);
+      result.evicted_rank = heap_[worst].rank;
+      ++evictions_;
+      RemoveAt(worst);
+    }
+    heap_.push_back(Item{rank, seq, std::move(value)});
+    SiftUp(heap_.size() - 1);
+    ++pushes_;
+    result.admitted = true;
+    return result;
+  }
+
+  struct PopResult {
+    bool got = false;
+    T value{};
+    uint64_t rank = 0;
+  };
+
+  // Dequeues the head (smallest rank, earliest arrival). Consumes this
+  // pass's single access to the PIFO block.
+  PopResult Pop(PacketPass& pass) {
+    Claim(pass);
+    PopResult result;
+    if (heap_.empty()) {
+      ++empty_pops_;
+      return result;
+    }
+    result.got = true;
+    result.value = std::move(heap_.front().value);
+    result.rank = heap_.front().rank;
+    RemoveAt(0);
+    ++pops_;
+    return result;
+  }
+
+  // --- Control-plane observability (switch CPU; not pass-limited) ----------
+
+  const std::string& name() const { return name_; }
+  size_t capacity() const { return capacity_; }
+  PifoOverflow overflow_policy() const { return overflow_; }
+  size_t cp_size() const { return heap_.size(); }
+  bool cp_empty() const { return heap_.empty(); }
+  uint64_t cp_min_rank() const {
+    DRACONIS_CHECK_MSG(!heap_.empty(), "cp_min_rank on empty PIFO: " + name_);
+    return heap_.front().rank;
+  }
+  uint64_t cp_pushes() const { return pushes_; }
+  uint64_t cp_pops() const { return pops_; }
+  uint64_t cp_empty_pops() const { return empty_pops_; }
+  uint64_t cp_rejects() const { return rejects_; }
+  uint64_t cp_evictions() const { return evictions_; }
+
+ private:
+  struct Item {
+    uint64_t rank = 0;
+    uint64_t seq = 0;
+    T value{};
+  };
+
+  static bool Before(const Item& a, const Item& b) {
+    return a.rank != b.rank ? a.rank < b.rank : a.seq < b.seq;
+  }
+
+  void Claim(PacketPass& pass) {
+    DRACONIS_CHECK_MSG(pass.TryMarkAccess(this),
+                       "PIFO accessed twice in one packet pass: " + name_);
+  }
+
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!Before(heap_[i], heap_[parent])) {
+        break;
+      }
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    for (;;) {
+      const size_t left = 2 * i + 1;
+      const size_t right = left + 1;
+      size_t smallest = i;
+      if (left < heap_.size() && Before(heap_[left], heap_[smallest])) {
+        smallest = left;
+      }
+      if (right < heap_.size() && Before(heap_[right], heap_[smallest])) {
+        smallest = right;
+      }
+      if (smallest == i) {
+        break;
+      }
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  // Index of the worst-ordered element. In a min-heap it is always a leaf,
+  // so the scan is bounded to the bottom level; it only runs on overflow.
+  size_t WorstIndex() const {
+    size_t worst = heap_.size() / 2;
+    for (size_t i = worst + 1; i < heap_.size(); ++i) {
+      if (Before(heap_[worst], heap_[i])) {
+        worst = i;
+      }
+    }
+    return worst;
+  }
+
+  void RemoveAt(size_t i) {
+    heap_[i] = std::move(heap_.back());
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      SiftDown(i);
+      SiftUp(i);
+    }
+  }
+
+  std::string name_;
+  size_t capacity_;
+  PifoOverflow overflow_;
+  std::vector<Item> heap_;
+  uint64_t next_seq_ = 0;
+  uint64_t pushes_ = 0;
+  uint64_t pops_ = 0;
+  uint64_t empty_pops_ = 0;
+  uint64_t rejects_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace draconis::p4
+
+#endif  // DRACONIS_P4_PIFO_H_

@@ -63,6 +63,8 @@ void WriteResultBody(json::Writer& w, const cluster::ExperimentResult& result) {
     m.queueing_delay().WriteJson(w);
     w.Key("e2e_delay");
     m.e2e_delay().WriteJson(w);
+    w.Key("slowdown_milli");
+    m.slowdown_milli().WriteJson(w);
     w.Key("get_task_delay");
     m.get_task_delay().WriteJson(w);
     if (m.priority_levels() > 0) {
@@ -143,6 +145,11 @@ std::string RenderJson(const SweepSpec& spec, const std::vector<SweepPointResult
       const cluster::ExperimentConfig& config = spec.points[point.index].config;
       w.Key("scheduler").String(cluster::SchedulerKindName(config.scheduler));
       w.Key("policy").String(cluster::PolicyKindName(config.policy));
+      // Emitted only in PIFO mode, so pre-PIFO sweep output (and its golden
+      // in tests/sweep_test.cc) stays byte-identical.
+      if (config.switch_policy != core::SwitchPolicy::kFifo) {
+        w.Key("switch_policy").String(core::SwitchPolicyName(config.switch_policy));
+      }
       w.Key("seed").UInt(config.seed);
     }
     WriteResultBody(w, point.result);
@@ -218,6 +225,7 @@ int WriteCsvDir(const std::string& dir, const SweepSpec& spec,
     written += DumpCdf(dir, spec, point, "sched_delay", m.sched_delay()) ? 1 : 0;
     written += DumpCdf(dir, spec, point, "queueing_delay", m.queueing_delay()) ? 1 : 0;
     written += DumpCdf(dir, spec, point, "e2e_delay", m.e2e_delay()) ? 1 : 0;
+    written += DumpCdf(dir, spec, point, "slowdown_milli", m.slowdown_milli()) ? 1 : 0;
     written += DumpCdf(dir, spec, point, "get_task_delay", m.get_task_delay()) ? 1 : 0;
     for (size_t level = 1; level <= m.priority_levels(); ++level) {
       char name[40];

@@ -86,6 +86,33 @@ const std::vector<double>& PaperPriorityMix() {
   return kMix;
 }
 
+void TagDeadlines(JobStream& stream, double slack, uint32_t jitter_us, uint64_t seed) {
+  DRACONIS_CHECK(slack > 0.0);
+  Rng rng(seed);
+  for (JobArrival& job : stream) {
+    for (TaskSpec& task : job.tasks) {
+      const double service_us = static_cast<double>(task.duration) / 1000.0;
+      uint64_t deadline_us = static_cast<uint64_t>(service_us * slack);
+      if (deadline_us < 1) {
+        deadline_us = 1;
+      }
+      deadline_us += rng.NextBelow(static_cast<uint64_t>(jitter_us) + 1);
+      task.tprops = static_cast<uint32_t>(deadline_us);
+    }
+  }
+}
+
+void TagTenants(JobStream& stream, uint32_t num_tenants, uint64_t seed) {
+  DRACONIS_CHECK(num_tenants > 0);
+  Rng rng(seed);
+  for (JobArrival& job : stream) {
+    const uint32_t tenant = static_cast<uint32_t>(rng.NextBelow(num_tenants));
+    for (TaskSpec& task : job.tasks) {
+      task.tprops = tenant;
+    }
+  }
+}
+
 JobStream GenerateResourcePhases(const ResourcePhasesSpec& spec) {
   Rng rng(spec.seed);
   JobStream stream;

@@ -34,6 +34,16 @@ void TagPriorities(JobStream& stream, const std::vector<double>& mix, uint64_t s
 // (§8.6): 1.2% / 1.7% / 64.6% / 32.2%.
 const std::vector<double>& PaperPriorityMix();
 
+// Tags every task with a relative deadline in TPROPS, in microseconds (the
+// EDF rank function's input, docs/pifo.md): `slack` x the task's own service
+// time plus up to `jitter_us` of uniform extra laxity, floored at 1 µs.
+void TagDeadlines(JobStream& stream, double slack, uint32_t jitter_us, uint64_t seed);
+
+// Tags each job with a uniformly random tenant id in [0, num_tenants) in
+// TPROPS (all tasks of a job belong to one tenant) — the WFQ rank function's
+// input.
+void TagTenants(JobStream& stream, uint32_t num_tenants, uint64_t seed);
+
 // Fig. 11's phased resource workload: three consecutive phases of equal
 // length; tasks in phase p require resource bit p (A=1, B=2, C=4).
 struct ResourcePhasesSpec {

@@ -197,6 +197,89 @@ TEST(DeterminismTest, PinnedGoldensPerSchedulerKind) {
   }
 }
 
+// The PIFO equivalence golden (docs/pifo.md): on an untagged fcfs workload
+// every strict-priority rank is zero, so the rank-ordered PIFO degenerates to
+// pure FIFO and the run must be bit-identical to the circular-queue pipeline
+// — including the pinned kDraconis golden above. Guards both directions: the
+// PIFO path cannot drift from the paper pipeline, and the pinned numbers
+// cannot silently absorb a PIFO regression.
+TEST(DeterminismTest, StrictPriorityPifoIsBitIdenticalToFifoPipeline) {
+  cluster::ExperimentResult fifo = RunExperiment(Fig05aMiniConfig());
+
+  cluster::ExperimentConfig config = Fig05aMiniConfig();
+  config.switch_policy = core::SwitchPolicy::kStrictPriority;
+  cluster::ExperimentResult pifo = RunExperiment(config);
+
+  EXPECT_EQ(fifo.metrics->tasks_submitted(), pifo.metrics->tasks_submitted());
+  EXPECT_EQ(fifo.metrics->tasks_completed(), pifo.metrics->tasks_completed());
+  EXPECT_EQ(fifo.metrics->sched_delay().count(), pifo.metrics->sched_delay().count());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(fifo.metrics->sched_delay().Percentile(q),
+              pifo.metrics->sched_delay().Percentile(q))
+        << "q=" << q;
+    EXPECT_EQ(fifo.metrics->e2e_delay().Percentile(q), pifo.metrics->e2e_delay().Percentile(q))
+        << "q=" << q;
+  }
+  EXPECT_EQ(fifo.switch_counters.passes, pifo.switch_counters.passes);
+  EXPECT_EQ(fifo.counters.tasks_assigned, pifo.counters.tasks_assigned);
+  EXPECT_EQ(fifo.counters.noops_sent, pifo.counters.noops_sent);
+
+  // And both match the pinned kDraconis golden numbers.
+  EXPECT_EQ(pifo.metrics->tasks_completed(), 130u);
+  EXPECT_EQ(pifo.metrics->sched_delay().Percentile(0.50), 7679);
+  EXPECT_EQ(pifo.metrics->sched_delay().Percentile(0.99), 366517);
+  EXPECT_EQ(pifo.metrics->e2e_delay().Percentile(0.50), 516095);
+  EXPECT_EQ(pifo.metrics->e2e_delay().Percentile(0.99), 869596);
+  EXPECT_DOUBLE_EQ(pifo.throughput_tps, 10000.0);
+}
+
+// Every non-default switch policy replays bit-identically for a fixed seed —
+// on streams tagged so the ranks are actually non-trivial (priorities,
+// deadlines, tenants).
+TEST(DeterminismTest, NonDefaultSwitchPoliciesReplayBitIdentically) {
+  auto make = [](core::SwitchPolicy policy) {
+    cluster::ExperimentConfig config = Fig05aMiniConfig();
+    config.switch_policy = policy;
+    config.wfq_weights = {3, 1};
+    switch (policy) {
+      case core::SwitchPolicy::kStrictPriority:
+        workload::TagPriorities(config.stream, {1, 2, 3, 4}, 11);
+        break;
+      case core::SwitchPolicy::kEdf:
+        workload::TagDeadlines(config.stream, /*slack=*/3.0, /*jitter_us=*/200, 12);
+        break;
+      case core::SwitchPolicy::kWfq:
+        workload::TagTenants(config.stream, /*num_tenants=*/2, 13);
+        break;
+      default:
+        break;
+    }
+    return config;
+  };
+  for (core::SwitchPolicy policy : core::AllSwitchPolicies()) {
+    if (policy == core::SwitchPolicy::kFifo) {
+      continue;
+    }
+    SCOPED_TRACE(core::SwitchPolicyName(policy));
+    cluster::ExperimentResult a = RunExperiment(make(policy));
+    cluster::ExperimentResult b = RunExperiment(make(policy));
+    EXPECT_GT(a.metrics->tasks_completed(), 0u);
+    EXPECT_EQ(a.metrics->tasks_submitted(), b.metrics->tasks_submitted());
+    EXPECT_EQ(a.metrics->tasks_completed(), b.metrics->tasks_completed());
+    EXPECT_EQ(a.metrics->sched_delay().count(), b.metrics->sched_delay().count());
+    for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(a.metrics->sched_delay().Percentile(q),
+                b.metrics->sched_delay().Percentile(q))
+          << "q=" << q;
+      EXPECT_EQ(a.metrics->e2e_delay().Percentile(q), b.metrics->e2e_delay().Percentile(q))
+          << "q=" << q;
+    }
+    EXPECT_EQ(a.switch_counters.passes, b.switch_counters.passes);
+    EXPECT_EQ(a.counters.tasks_assigned, b.counters.tasks_assigned);
+    EXPECT_EQ(a.counters.noops_sent, b.counters.noops_sent);
+  }
+}
+
 // Tracing must be a pure observer: sampling is a hash of the task id (no
 // RNG, no scheduled events), so a traced run — at any sampling rate — is
 // bit-identical to an untraced one. Guards the recorder threading through

@@ -231,6 +231,49 @@ TEST(ValidateTest, RejectsShortResourceTable) {
   EXPECT_EQ(config.Validate(), "");
 }
 
+TEST(ValidateTest, RejectsSwitchPoliciesTheSchedulerCannotRun) {
+  // Only draconis declares PIFO support; every baseline runs the fixed FIFO
+  // switch queue (docs/pifo.md).
+  ExperimentConfig config = TinyConfig();
+  config.scheduler = SchedulerKind::kSparrow;
+  config.switch_policy = core::SwitchPolicy::kSrpt;
+  const std::string error = config.Validate();
+  EXPECT_NE(error.find("switch policy"), std::string::npos) << error;
+  EXPECT_NE(error.find("srpt"), std::string::npos) << error;
+
+  config.scheduler = SchedulerKind::kDraconis;
+  EXPECT_EQ(config.Validate(), "");
+}
+
+TEST(ValidateTest, RejectsSwitchPolicyCombinedWithPerLevelQueues) {
+  // A non-FIFO switch policy replaces the retrieval discipline; the
+  // per-level queues, swap walks, and parallel probing have no meaning.
+  ExperimentConfig config = TinyConfig();
+  config.switch_policy = core::SwitchPolicy::kStrictPriority;
+  config.policy = PolicyKind::kPriority;
+  std::string error = config.Validate();
+  EXPECT_NE(error.find("fcfs"), std::string::npos) << error;
+
+  config = TinyConfig();
+  config.switch_policy = core::SwitchPolicy::kEdf;
+  config.parallel_priority_stages = true;
+  error = config.Validate();
+  EXPECT_NE(error.find("parallel_priority_stages"), std::string::npos) << error;
+}
+
+TEST(ValidateTest, RejectsDegenerateWfqWeights) {
+  ExperimentConfig config = TinyConfig();
+  config.switch_policy = core::SwitchPolicy::kWfq;
+  config.wfq_weights = {};
+  EXPECT_NE(config.Validate().find("weight"), std::string::npos);
+
+  config.wfq_weights = {3, 0};
+  EXPECT_NE(config.Validate().find("positive"), std::string::npos);
+
+  config.wfq_weights = {3, 1};
+  EXPECT_EQ(config.Validate(), "");
+}
+
 TEST(ValidateTest, RejectsWarmupPastTheHorizon) {
   ExperimentConfig config = TinyConfig();
   config.warmup = config.horizon;

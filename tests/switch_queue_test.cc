@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "common/check.h"
 #include "core/switch_queue.h"
 #include "p4/register.h"
@@ -442,6 +444,61 @@ TEST(SwitchQueueTest, LongRunModularIndexingStaysConsistent) {
     ++consumed;
   }
   EXPECT_GT(q.cp_add_ptr(), 2000u);  // many wraps actually happened
+}
+
+// --- Tie-break contract (see the header comment and docs/pifo.md) ----------
+
+// Equal-priority tasks dequeue in the order they were admitted — strict
+// FIFO — in both dequeue modes and across full-queue and overrun repair
+// episodes. MakeEntry leaves tprops at 0, so every task here is
+// equal-priority; the PIFO equivalence golden (determinism_test.cc) relies
+// on this exact contract.
+TEST(SwitchQueueTest, EqualPriorityTasksDequeueInArrivalOrderAcrossRepairs) {
+  for (bool shadow : {true, false}) {
+    SCOPED_TRACE(shadow ? "shadow" : "textbook");
+    SwitchQueue q("q", 4, nullptr, shadow);
+    std::deque<uint32_t> admitted;
+    uint32_t next_id = 0;
+
+    auto push = [&] {
+      auto r = Enq(q, next_id);
+      if (r.added) {
+        admitted.push_back(next_id);
+      }
+      ++next_id;
+      // Land any repair this mistake launched, as the pipeline would.
+      if (r.need_add_repair) {
+        Repair(q, net::RepairTarget::kAddPtr, r.add_repair_value);
+      }
+      if (r.need_retrieve_repair) {
+        Repair(q, net::RepairTarget::kRetrievePtr, r.retrieve_repair_value);
+      }
+    };
+    auto pop = [&] {
+      auto r = Deq(q);
+      if (r.got_task) {
+        ASSERT_FALSE(admitted.empty());
+        EXPECT_EQ(r.entry.task.id.tid, admitted.front());
+        admitted.pop_front();
+      }
+    };
+
+    for (int round = 0; round < 200; ++round) {
+      // Idle polling on a (possibly) empty queue: textbook mode overruns and
+      // repairs on the next enqueue; shadow mode makes no mistake.
+      pop();
+      pop();
+      // Burst past capacity so full-queue add repairs fire regularly.
+      for (int i = 0; i < 3 + round % 4; ++i) {
+        push();
+      }
+      pop();
+    }
+    while (!admitted.empty()) {
+      pop();
+    }
+    EXPECT_FALSE(Deq(q).got_task);
+  }
 }
 
 TEST(SwitchQueueTest, LedgerAccountsQueueMemory) {
