@@ -24,6 +24,7 @@
 #include "common/flags.h"
 #include "core/rank_function.h"
 #include "fault/plan.h"
+#include "sim/event_queue.h"
 #include "sweep/report.h"
 #include "sweep/sweep.h"
 #include "trace/export.h"
@@ -147,6 +148,16 @@ inline std::vector<std::string> SwitchPolicyChoices() {
   return choices;
 }
 
+// Valid values for the --sim-queue flag (AddChoice): the event-queue
+// backends of src/sim/event_queue.h, the default backend first.
+inline std::vector<std::string> SimQueueChoices() {
+  std::vector<std::string> choices;
+  for (sim::QueueBackend backend : sim::AllQueueBackends()) {
+    choices.push_back(sim::QueueBackendName(backend));
+  }
+  return choices;
+}
+
 // Drives one bench binary: owns the flag parser with the standard sweep
 // flags, executes the spec via sweep::RunSweep, and writes the --json /
 // --csv-dir reports. Bench-specific flags register through parser() before
@@ -189,6 +200,9 @@ class SweepRunner {
                       "switch queueing discipline for every point (docs/pifo.md); "
                       "non-fifo values need a PIFO-capable kind — combine with "
                       "--scheduler=draconis");
+    parser_.AddChoice("sim-queue", &sim_queue_, SimQueueChoices(),
+                      "event-queue backend for every point's simulator "
+                      "(docs/simulation.md); both produce bit-identical runs");
   }
 
   flags::Parser& parser() { return parser_; }
@@ -237,8 +251,28 @@ class SweepRunner {
     // untraced ones (tests/determinism_test.cc).
     const sweep::SweepSpec* active = &spec;
     sweep::SweepSpec modified;
-    if (trace_ || !fault_plan_path_.empty() || switch_policy_ != "fifo") {
+    const std::string default_sim_queue =
+        sim::QueueBackendName(sim::kDefaultQueueBackend);
+    if (trace_ || !fault_plan_path_.empty() || switch_policy_ != "fifo" ||
+        sim_queue_ != default_sim_queue) {
       modified = spec;
+      // --sim-queue: the same event-queue backend in every point's
+      // simulator. Results are bit-identical across backends (the (time,
+      // seq) contract); the flag exists for cross-checking exactly that and
+      // for timing comparisons.
+      if (sim_queue_ != default_sim_queue) {
+        sim::QueueBackend backend = sim::kDefaultQueueBackend;
+        sim::QueueBackendFromName(sim_queue_, &backend);  // choices pre-validated
+        for (sweep::SweepPoint& point : modified.points) {
+          point.config.sim_queue = backend;
+          const std::string invalid = point.config.Validate();
+          if (!invalid.empty()) {
+            std::fprintf(stderr, "--sim-queue: point %s: %s\n", point.label.c_str(),
+                         invalid.c_str());
+            std::exit(2);
+          }
+        }
+      }
       // --switch-policy: the same switch queueing discipline on every point.
       // Points whose scheduler kind cannot host a PIFO fail validation, so a
       // mixed-kind sweep needs a --scheduler filter first.
@@ -313,11 +347,14 @@ class SweepRunner {
     sweep::ReportOptions report;
     report.parallelism = sweep::EffectiveParallelism(options.parallelism, spec.points.size());
     report.quick = Quick();
+    // Report against *active, not spec: per-point flag overrides
+    // (--sim-queue, --switch-policy, --fault-plan) must be visible in the
+    // recorded configs.
     if (!json_path_.empty()) {
-      sweep::WriteJsonFile(json_path_, spec, results, report);
+      sweep::WriteJsonFile(json_path_, *active, results, report);
     }
     if (!csv_dir_.empty()) {
-      sweep::WriteCsvDir(csv_dir_, spec, results);
+      sweep::WriteCsvDir(csv_dir_, *active, results);
     }
     return results;
   }
@@ -335,6 +372,7 @@ class SweepRunner {
   std::string trace_dir_ = ".";
   std::string fault_plan_path_;
   std::string switch_policy_ = "fifo";
+  std::string sim_queue_ = sim::QueueBackendName(sim::kDefaultQueueBackend);
   TimeNs horizon_ = RunHorizon();
 };
 

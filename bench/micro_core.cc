@@ -60,7 +60,7 @@ void BM_SimulatorEventChurn(benchmark::State& state) {
     sim::Simulator simulator;
     int fired = 0;
     for (int i = 0; i < 1000; ++i) {
-      simulator.At(i, [&fired] { ++fired; });
+      simulator.ScheduleAt(i, [&fired] { ++fired; });
     }
     simulator.RunAll();
     benchmark::DoNotOptimize(fired);

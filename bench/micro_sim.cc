@@ -6,7 +6,8 @@
 // the comparison honest across machines and PRs, the *seed* engine (heap of
 // full events, `std::function` + `shared_ptr<bool>` per cancellable event)
 // is embedded below as `legacy::Simulator` and measured in the same
-// process, interleaved with the current engine.
+// process, interleaved with the current engine on both of its queue
+// backends ("current" = ladder, the default; "heap" alongside).
 //
 // Workloads:
 //   schedule_heavy  self-rescheduling chains, plain events only
@@ -176,7 +177,8 @@ namespace draconis::bench {
 namespace {
 
 // Adapter so the workloads below compile against either engine with the
-// same Timer spelling.
+// same scheduling and Timer spelling (the legacy engine keeps the seed's
+// At/After/CancellableAfter surface verbatim).
 struct CurrentEngine {
   using Sim = sim::Simulator;
   using Handle = sim::EventHandle;
@@ -189,12 +191,24 @@ struct CurrentEngine {
    private:
     sim::Timer timer_;
   };
+  static void After(Sim& sim, TimeNs delay, std::function<void()> fn) {
+    sim.ScheduleAfter(delay, std::move(fn));
+  }
+  static Handle CancellableAfter(Sim& sim, TimeNs delay, std::function<void()> fn) {
+    return sim.ScheduleAfter(delay, std::move(fn), sim::kCancellable);
+  }
 };
 
 struct LegacyEngine {
   using Sim = legacy::Simulator;
   using Handle = legacy::EventHandle;
   using RearmTimer = legacy::RearmTimer;
+  static void After(Sim& sim, TimeNs delay, std::function<void()> fn) {
+    sim.After(delay, std::move(fn));
+  }
+  static Handle CancellableAfter(Sim& sim, TimeNs delay, std::function<void()> fn) {
+    return sim.CancellableAfter(delay, std::move(fn));
+  }
 };
 
 // --- Workloads ---------------------------------------------------------------
@@ -213,8 +227,8 @@ template <typename E>
 void ChainTick(ChainState<E>* st) {
   if (st->budget > 0) {
     --st->budget;
-    st->sim->After(1 + static_cast<TimeNs>(st->rng.NextU64() & 255),
-                   [st] { ChainTick<E>(st); });
+    E::After(*st->sim, 1 + static_cast<TimeNs>(st->rng.NextU64() & 255),
+             [st] { ChainTick<E>(st); });
   }
 }
 
@@ -224,7 +238,7 @@ uint64_t ScheduleHeavy(typename E::Sim& sim, uint64_t budget) {
   ChainState<E> st{&sim, Rng(7), budget};
   for (uint64_t k = 0; k < kChains && st.budget > 0; ++k) {
     --st.budget;
-    sim.After(static_cast<TimeNs>(k + 1), [p = &st] { ChainTick<E>(p); });
+    E::After(sim, static_cast<TimeNs>(k + 1), [p = &st] { ChainTick<E>(p); });
   }
   sim.RunAll();
   return sim.executed_events();
@@ -243,11 +257,11 @@ struct WatchdogState {
 template <typename E>
 void WatchdogTick(WatchdogState<E>* st, uint32_t k) {
   st->watchdogs[k].Cancel();
-  st->watchdogs[k] = st->sim->CancellableAfter(FromMillis(1), [] {});
+  st->watchdogs[k] = E::CancellableAfter(*st->sim, FromMillis(1), [] {});
   if (st->budget > 0) {
     --st->budget;
-    st->sim->After(1 + static_cast<TimeNs>(st->rng.NextU64() & 255),
-                   [st, k] { WatchdogTick<E>(st, k); });
+    E::After(*st->sim, 1 + static_cast<TimeNs>(st->rng.NextU64() & 255),
+             [st, k] { WatchdogTick<E>(st, k); });
   }
 }
 
@@ -258,7 +272,7 @@ uint64_t CancelHeavy(typename E::Sim& sim, uint64_t budget) {
   st.watchdogs.resize(kActors);
   for (uint32_t k = 0; k < kActors && st.budget > 0; ++k) {
     --st.budget;
-    sim.After(static_cast<TimeNs>(k + 1), [p = &st, k] { WatchdogTick<E>(p, k); });
+    E::After(sim, static_cast<TimeNs>(k + 1), [p = &st, k] { WatchdogTick<E>(p, k); });
   }
   // Stop before the surviving watchdogs fire: only the chain is measured.
   sim.RunUntil(sim.Now() + FromSeconds(3600));
@@ -315,7 +329,7 @@ template <typename E>
 void MixedSubmit(MixedState<E>* st, uint32_t k) {
   // Client-side timeout for the task (cancelled when it completes).
   st->timeouts[k].Cancel();
-  st->timeouts[k] = st->sim->CancellableAfter(FromMicros(2500), [] {});
+  st->timeouts[k] = E::CancellableAfter(*st->sim, FromMicros(2500), [] {});
   MixedHop<E>(st, k, 0);
 }
 
@@ -324,8 +338,8 @@ void MixedHop(MixedState<E>* st, uint32_t k, int hop) {
   if (hop < 6) {
     // tx occupancy / propagation / rx occupancy / stack, twice (to the
     // switch and on to the executor).
-    st->sim->After(100 + static_cast<TimeNs>(st->rng.NextU64() & 127),
-                   [st, k, hop] { MixedHop<E>(st, k, hop + 1); });
+    E::After(*st->sim, 100 + static_cast<TimeNs>(st->rng.NextU64() & 127),
+             [st, k, hop] { MixedHop<E>(st, k, hop + 1); });
     if (hop % 3 == 0) {
       st->pulls[k]->ScheduleAfter(FromMillis(1));  // watchdog re-arm per leg
     }
@@ -336,8 +350,8 @@ void MixedHop(MixedState<E>* st, uint32_t k, int hop) {
   st->pulls[k]->ScheduleAfter(FromMillis(1));
   if (st->budget > 0) {
     --st->budget;
-    st->sim->After(1 + static_cast<TimeNs>(st->rng.NextU64() & 255),
-                   [st, k] { MixedSubmit<E>(st, k); });
+    E::After(*st->sim, 1 + static_cast<TimeNs>(st->rng.NextU64() & 255),
+             [st, k] { MixedSubmit<E>(st, k); });
   }
 }
 
@@ -351,7 +365,7 @@ uint64_t MixedFig05a(typename E::Sim& sim, uint64_t budget) {
   }
   for (uint32_t k = 0; k < kClients && st.budget > 0; ++k) {
     --st.budget;
-    sim.After(static_cast<TimeNs>(k + 1), [p = &st, k] { MixedSubmit<E>(p, k); });
+    E::After(sim, static_cast<TimeNs>(k + 1), [p = &st, k] { MixedSubmit<E>(p, k); });
   }
   sim.RunUntil(sim.Now() + FromSeconds(3600));
   return sim.executed_events();
@@ -362,7 +376,8 @@ uint64_t MixedFig05a(typename E::Sim& sim, uint64_t budget) {
 struct Result {
   std::string name;
   uint64_t events = 0;
-  double current_eps = 0;  // events/sec, current engine
+  double current_eps = 0;  // events/sec, current engine, ladder backend
+  double heap_eps = 0;     // events/sec, current engine, heap backend
   double legacy_eps = 0;   // events/sec, seed engine
   double speedup() const { return legacy_eps > 0 ? current_eps / legacy_eps : 0; }
 };
@@ -380,13 +395,19 @@ Result Measure(const char* name, uint64_t budget, int reps, WorkloadFn&& workloa
   Result result;
   result.name = name;
   // Strictly alternate the engines rep by rep so frequency scaling and
-  // thermal drift hit both equally; keep each engine's best rep.
+  // thermal drift hit all of them equally; keep each engine's best rep.
   for (int r = 0; r < reps; ++r) {
     {
-      sim::Simulator sim;
+      sim::Simulator sim(sim::QueueBackend::kLadder);
       const double eps =
           TimeOnce(&result.events, [&] { return workload(CurrentEngine{}, sim, budget); });
       result.current_eps = std::max(result.current_eps, eps);
+    }
+    {
+      sim::Simulator sim(sim::QueueBackend::kHeap);
+      const double eps =
+          TimeOnce(&result.events, [&] { return workload(CurrentEngine{}, sim, budget); });
+      result.heap_eps = std::max(result.heap_eps, eps);
     }
     {
       legacy::Simulator sim;
@@ -395,9 +416,10 @@ Result Measure(const char* name, uint64_t budget, int reps, WorkloadFn&& workloa
       result.legacy_eps = std::max(result.legacy_eps, eps);
     }
   }
-  std::printf("%-16s %12llu events   current %10.0f ev/s   seed %10.0f ev/s   %.2fx\n",
-              name, static_cast<unsigned long long>(result.events), result.current_eps,
-              result.legacy_eps, result.speedup());
+  std::printf(
+      "%-16s %11llu events   ladder %9.0f ev/s   heap %9.0f ev/s   seed %9.0f ev/s   %.2fx\n",
+      name, static_cast<unsigned long long>(result.events), result.current_eps, result.heap_eps,
+      result.legacy_eps, result.speedup());
   std::fflush(stdout);
   return result;
 }
@@ -419,6 +441,7 @@ bool WriteJson(const std::string& path, const std::vector<Result>& results, bool
     w.Key("name").String(r.name);
     w.Key("events").UInt(r.events);
     w.Key("current").Double(r.current_eps);
+    w.Key("heap").Double(r.heap_eps);
     w.Key("seed_engine").Double(r.legacy_eps);
     w.Key("speedup").Double(r.speedup());
     w.EndObject();
@@ -452,8 +475,11 @@ int Main(int argc, char** argv) {
   }
 
   const bool quick = Quick();
-  const uint64_t budget = quick ? 100'000 : 2'000'000;
-  const int reps = quick ? 1 : 3;
+  // Quick mode keeps best-of-3 and a meaty budget: a single cold 100k-event
+  // rep measures allocator warm-up and an un-ramped clock more than the
+  // engine, and CI gates on these ratios.
+  const uint64_t budget = quick ? 250'000 : 2'000'000;
+  const int reps = 3;
   std::printf("sim event-core benchmark — %llu events/workload, best of %d\n",
               static_cast<unsigned long long>(budget), reps);
 

@@ -57,7 +57,7 @@ int main() {
   client_config.timeout_multiplier = 10.0;
   cluster::Client client(&testbed, client_config);
   client.SetScheduler(scheduler);
-  simulator.At(FromMicros(50), [&] {
+  simulator.ScheduleAt(FromMicros(50), [&] {
     std::vector<cluster::TaskSpec> job(12);
     for (auto& task : job) {
       task.duration = FromMicros(100);

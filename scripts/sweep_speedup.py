@@ -7,6 +7,7 @@ wall-clock time. The two runs must also produce bit-identical point metrics;
 this doubles as an end-to-end determinism check outside the unit tests.
 
 Usage: scripts/sweep_speedup.py [--bench PATH] [--parallelism N] [--out PATH]
+       [--sim-queue {ladder,heap}]
 """
 
 import argparse
@@ -17,11 +18,17 @@ import sys
 import time
 
 
-def run_once(bench: str, parallelism: int, json_path: str) -> float:
+def run_once(bench: str, parallelism: int, json_path: str, sim_queue: str) -> float:
     env = dict(os.environ, DRACONIS_BENCH_QUICK="1")
     start = time.monotonic()
     subprocess.run(
-        [bench, f"--parallelism={parallelism}", f"--json={json_path}", "--progress=false"],
+        [
+            bench,
+            f"--parallelism={parallelism}",
+            f"--json={json_path}",
+            "--progress=false",
+            f"--sim-queue={sim_queue}",
+        ],
         env=env,
         check=True,
         stdout=subprocess.DEVNULL,
@@ -40,12 +47,18 @@ def main() -> int:
     parser.add_argument("--bench", default="build/bench/fig05a_latency_500us")
     parser.add_argument("--parallelism", type=int, default=os.cpu_count() or 1)
     parser.add_argument("--out", default="BENCH_sweep.json")
+    parser.add_argument(
+        "--sim-queue",
+        default="ladder",
+        choices=("ladder", "heap"),
+        help="event-queue backend forwarded to the bench binary",
+    )
     args = parser.parse_args()
 
     serial_json = args.out + ".serial.tmp"
     parallel_json = args.out + ".parallel.tmp"
-    serial_s = run_once(args.bench, 1, serial_json)
-    parallel_s = run_once(args.bench, args.parallelism, parallel_json)
+    serial_s = run_once(args.bench, 1, serial_json, args.sim_queue)
+    parallel_s = run_once(args.bench, args.parallelism, parallel_json, args.sim_queue)
 
     with open(serial_json) as f:
         serial_doc = json.load(f)
@@ -60,6 +73,7 @@ def main() -> int:
         "bench": "sweep_speedup",
         "schema_version": 1,
         "target": os.path.basename(args.bench),
+        "sim_queue": args.sim_queue,
         "quick": True,
         "cores": os.cpu_count(),
         "parallelism": args.parallelism,

@@ -151,7 +151,7 @@ void R2P2Worker::TryRun(size_t local) {
   }
   const TimeNs done = exec_start + task.meta.exec_duration;
   metrics_->RecordBusyInterval(simulator_->Now(), done);
-  simulator_->At(done, [this, local, task = std::move(task), client]() mutable {
+  simulator_->ScheduleAt(done, [this, local, task = std::move(task), client]() mutable {
     FinishTask(local, std::move(task), client);
   });
 }

@@ -91,7 +91,7 @@ void RackSchedWorker::HandlePacket(net::Packet pkt) {
   if (policy_ == IntraNodePolicy::kProcessorSharing) {
     // Admission is delayed by the dispatcher's overhead, then the task joins
     // the sharing pool immediately (preemptive: no queueing behind peers).
-    simulator_->After(dispatch_overhead_ + pickup_overhead_,
+    simulator_->ScheduleAfter(dispatch_overhead_ + pickup_overhead_,
                       [this, pkt = std::move(pkt)]() mutable { PsAdmit(std::move(pkt)); });
     return;
   }
@@ -154,7 +154,8 @@ void RackSchedWorker::PsReschedule() {
   if (next != ~size_t{0}) {
     // The earliest finisher completes after remaining / (possibly new) rate.
     const auto wait = static_cast<TimeNs>(min_remaining / PsRate()) + 1;
-    ps_completion_ = simulator_->CancellableAfter(wait, [this] { PsReschedule(); });
+    ps_completion_ =
+        simulator_->ScheduleAfter(wait, [this] { PsReschedule(); }, sim::kCancellable);
   }
 }
 
@@ -198,7 +199,7 @@ void RackSchedWorker::TryDispatch() {
     }
     const TimeNs done = exec_start + task.meta.exec_duration;
     metrics_->RecordBusyInterval(simulator_->Now(), done);
-    simulator_->At(done, [this, core, task = std::move(task), client]() mutable {
+    simulator_->ScheduleAt(done, [this, core, task = std::move(task), client]() mutable {
       FinishTask(core, std::move(task), client);
     });
     if (queue_.empty()) {

@@ -128,7 +128,7 @@ void SparrowWorker::HandlePacket(net::Packet pkt) {
       }
       const TimeNs done = exec_start + task.meta.exec_duration;
       metrics_->RecordBusyInterval(simulator_->Now(), done);
-      simulator_->At(done, [this, core, task = std::move(task), client]() mutable {
+      simulator_->ScheduleAt(done, [this, core, task = std::move(task), client]() mutable {
         FinishTask(core, std::move(task), client);
       });
       return;

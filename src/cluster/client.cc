@@ -108,7 +108,7 @@ void Client::HandlePacket(net::Packet pkt) {
         retry.push_back(task);
       }
       if (!retry.empty()) {
-        simulator_->After(config_.queue_full_retry_wait,
+        simulator_->ScheduleAfter(config_.queue_full_retry_wait,
                           [this, retry = std::move(retry)]() mutable {
                             SendTasks(std::move(retry));
                           });
@@ -159,8 +159,8 @@ void Client::HandlePacket(net::Packet pkt) {
 }
 
 TimeNs Client::TimeoutFor(const net::TaskInfo& task) const {
-  const auto scaled =
-      static_cast<TimeNs>(config_.timeout_multiplier * static_cast<double>(task.meta.exec_duration));
+  const auto scaled = static_cast<TimeNs>(config_.timeout_multiplier *
+                                          static_cast<double>(task.meta.exec_duration));
   const TimeNs base = std::max(scaled, config_.timeout_floor);
   // Exponential backoff across resubmissions so a congested scheduler is not
   // fed an unbounded duplicate storm.
@@ -171,8 +171,9 @@ TimeNs Client::TimeoutFor(const net::TaskInfo& task) const {
 void Client::ArmTimeout(const net::TaskInfo& task) {
   Pending pending;
   pending.task = task;
-  pending.timeout = simulator_->CancellableAfter(
-      TimeoutFor(task), [this, id = task.id] { OnTimeout(id); });
+  pending.timeout = simulator_->ScheduleAfter(
+      TimeoutFor(task), [this, id = task.id] { OnTimeout(id); },
+      sim::kCancellable);
   outstanding_[task.id] = std::move(pending);
 }
 
@@ -210,8 +211,8 @@ void Client::OnTimeout(net::TaskId id) {
                       simulator_->Now(), 0, node_id_, task.meta.attempt, 0);
   }
   it->second.task = task;
-  it->second.timeout = simulator_->CancellableAfter(
-      TimeoutFor(task), [this, id] { OnTimeout(id); });
+  it->second.timeout = simulator_->ScheduleAfter(
+      TimeoutFor(task), [this, id] { OnTimeout(id); }, sim::kCancellable);
   SendTasks({std::move(task)});
 }
 

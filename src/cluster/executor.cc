@@ -181,7 +181,7 @@ void Executor::Execute(net::TaskInfo task, net::NodeId client, TimeNs access, bo
   metrics_->RecordBusyInterval(now, done);
   ++tasks_executed_;
 
-  simulator_->At(done, [this, task = std::move(task), client]() mutable {
+  simulator_->ScheduleAt(done, [this, task = std::move(task), client]() mutable {
     metrics_->RecordNodeCompletion(config_.worker_node, simulator_->Now());
     // Completion + piggybacked request for the next task.
     net::Packet completion;

@@ -163,6 +163,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   tc.node_series_bucket = config.node_series_bucket;
   tc.network = config.network;
   tc.trace = config.trace;
+  tc.sim_queue = config.sim_queue;
   Testbed testbed(tc);
   sim::Simulator& simulator = testbed.simulator();
 
@@ -247,9 +248,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   uint64_t decisions_at_warmup = 0;
   uint64_t decisions_at_end = 0;
   if (config.noop_executors) {
-    simulator.At(config.warmup,
+    simulator.ScheduleAt(config.warmup,
                  [&] { decisions_at_warmup = deployment->DecisionCount(testbed); });
-    simulator.At(horizon, [&] { decisions_at_end = deployment->DecisionCount(testbed); });
+    simulator.ScheduleAt(horizon, [&] { decisions_at_end = deployment->DecisionCount(testbed); });
   }
 
   ExperimentResult result;

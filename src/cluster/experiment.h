@@ -32,6 +32,7 @@
 #include "fault/plan.h"
 #include "net/network.h"
 #include "p4/pipeline.h"
+#include "sim/event_queue.h"
 #include "trace/recorder.h"
 #include "workload/spec.h"
 
@@ -108,6 +109,11 @@ struct ExperimentConfig {
   net::NetworkConfig network{};
   ExecutorConfig executor_template{};
   uint64_t seed = 1;
+
+  // Event-queue backend for the simulator (sim/event_queue.h). Both backends
+  // produce bit-identical results; ladder is faster on large runs, so this
+  // is a speed knob, not a behaviour knob (--sim-queue on the benches).
+  sim::QueueBackend sim_queue = sim::kDefaultQueueBackend;
 
   // Task-lifecycle tracing (docs/observability.md). Sampling is a pure hash
   // of the task id, so enabling it cannot perturb results.

@@ -23,7 +23,7 @@ void Feeder::ScheduleNext() {
   if (done()) {
     return;
   }
-  simulator_->At((*stream_)[next_].at, [this] { Fire(); });
+  simulator_->ScheduleAt((*stream_)[next_].at, [this] { Fire(); });
 }
 
 void Feeder::Fire() {

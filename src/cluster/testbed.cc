@@ -6,6 +6,7 @@ namespace draconis::cluster {
 
 Testbed::Testbed(const TestbedConfig& config)
     : config_(config),
+      simulator_(config.sim_queue),
       topology_(core::Topology::Uniform(config.num_workers, config.num_racks)) {
   if (config_.trace.enabled) {
     recorder_ = std::make_unique<trace::Recorder>(config_.trace);

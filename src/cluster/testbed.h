@@ -47,6 +47,9 @@ struct TestbedConfig {
   uint64_t seed = 1;
   size_t num_workers = 10;
   size_t num_racks = 3;
+  // Event-queue backend for the simulator. Both produce bit-identical runs
+  // (sim/event_queue.h); the choice is purely a speed knob.
+  sim::QueueBackend sim_queue = sim::kDefaultQueueBackend;
   // Measurement window for the MetricsHub.
   TimeNs warmup = 0;
   TimeNs horizon = FromSeconds(10);

@@ -23,11 +23,11 @@ void Injector::Arm() {
   sim::Simulator& simulator = testbed_->simulator();
   for (size_t i = 0; i < plan_.events().size(); ++i) {
     const FaultEvent& e = plan_.events()[i];
-    simulator.At(e.start, [this, i] { StartEvent(i); });
+    simulator.ScheduleAt(e.start, [this, i] { StartEvent(i); });
     // A failover's `end` only bounds the during-fault metric window — the
     // dead scheduler stays dead — so there is nothing to clear.
     if (e.end != FaultEvent::kNever && e.kind != EventKind::kSchedulerFailover) {
-      simulator.At(e.end, [this, i] { ClearEvent(i); });
+      simulator.ScheduleAt(e.end, [this, i] { ClearEvent(i); });
     }
   }
 }

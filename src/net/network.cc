@@ -82,7 +82,7 @@ void Network::Send(NodeId from, Packet pkt) {
   // delivery, so `disconnected` is re-checked at NIC arrival and again at
   // hand-off (a crashed switch must not keep serving queued packets).
   const NodeId dst = pkt.dst;
-  simulator_->At(arrives, [this, dst, pkt = std::move(pkt)]() mutable {
+  simulator_->ScheduleAt(arrives, [this, dst, pkt = std::move(pkt)]() mutable {
     Host& host = hosts_[dst];
     if (host.disconnected) {
       ++packets_dropped_;
@@ -101,7 +101,7 @@ void Network::Send(NodeId from, Packet pkt) {
         }
       }
     }
-    simulator_->At(deliver_at, [this, dst, pkt = std::move(pkt)]() mutable {
+    simulator_->ScheduleAt(deliver_at, [this, dst, pkt = std::move(pkt)]() mutable {
       if (hosts_[dst].disconnected) {
         ++packets_dropped_;
         RecordNetDrops(pkt);

@@ -81,7 +81,7 @@ void SwitchPipeline::EmitFromPass(net::Packet pkt) {
   // Egress after the remaining pipeline traversal time.
   auto* network = network_;
   const net::NodeId self = node_id_;
-  simulator_->After(config_.pass_latency,
+  simulator_->ScheduleAfter(config_.pass_latency,
                     [network, self, pkt = std::move(pkt)]() mutable {
                       network->Send(self, std::move(pkt));
                     });
@@ -104,7 +104,7 @@ void SwitchPipeline::RecirculateFromPass(net::Packet pkt, bool guaranteed) {
   recirc_next_free_ = start + recirc_interval_;
   pkt.pipeline_passes += 1;
   const uint32_t next_pass = pkt.pipeline_passes;
-  simulator_->At(start + config_.recirc_latency,
+  simulator_->ScheduleAt(start + config_.recirc_latency,
                  [this, next_pass, pkt = std::move(pkt)]() mutable {
                    RunPass(std::move(pkt), next_pass);
                  });

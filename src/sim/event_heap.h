@@ -1,4 +1,4 @@
-// Binary min-heap over trivially copyable 24-byte event keys.
+// Binary min-heap backend for the EventQueue API (event_queue.h).
 //
 // The simulator's heap used to hold full events (closure + cancellation
 // flag, ~64 bytes with non-trivial move constructors); every sift moved
@@ -7,45 +7,35 @@
 // moves — which matters when lazily-deleted keys run the heap hundreds of
 // thousands of entries deep.
 //
-// Ordering is (at, seq): `seq` is assigned in scheduling order, which
-// preserves the deterministic same-instant tie-break the switch model
-// relies on. ARITY is a tuning knob (2 measured best on both the shallow
-// executor-pull heaps and the ~10^6-entry lazy-deletion heaps; 4 was tried
-// and only helped the deep case).
+// Ordering is the (at, seq) contract of event_queue.h. ARITY is a tuning
+// knob (2 measured best on both the shallow executor-pull heaps and the
+// ~10^6-entry lazy-deletion heaps; 4 was tried and only helped the deep
+// case). The class is `final` so the Simulator's calls through a concrete
+// member devirtualize.
 
 #ifndef DRACONIS_SIM_EVENT_HEAP_H_
 #define DRACONIS_SIM_EVENT_HEAP_H_
 
 #include <cstddef>
-#include <cstdint>
 #include <vector>
 
-#include "common/time.h"
+#include "sim/event_queue.h"
 
 namespace draconis::sim {
 
-struct EventKey {
-  TimeNs at = 0;     // absolute firing time
-  uint64_t seq = 0;  // global scheduling sequence
-  uint32_t slot = 0;  // slab slot holding the payload
-};
-
-class EventHeap {
+class EventHeap final : public EventQueue {
   static constexpr size_t ARITY = 2;
 
  public:
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  bool empty() const override { return heap_.empty(); }
+  size_t size() const override { return heap_.size(); }
 
-  // The earliest key. Undefined on an empty heap.
-  const EventKey& top() const { return heap_.front(); }
-
-  void Push(EventKey key) {
+  void Push(EventKey key) override {
     size_t i = heap_.size();
     heap_.push_back(key);  // placeholder; the hole sifts up below
     while (i > 0) {
       const size_t parent = (i - 1) / ARITY;
-      if (!Before(key, heap_[parent])) {
+      if (!EventKeyBefore(key, heap_[parent])) {
         break;
       }
       heap_[i] = heap_[parent];
@@ -54,8 +44,16 @@ class EventHeap {
     heap_[i] = key;
   }
 
+  bool PeekTop(EventKey* out) override {
+    if (heap_.empty()) {
+      return false;
+    }
+    *out = heap_.front();
+    return true;
+  }
+
   // Removes and returns the earliest key. Undefined on an empty heap.
-  EventKey PopTop() {
+  EventKey PopTop() override {
     const EventKey top = heap_.front();
     const EventKey last = heap_.back();
     heap_.pop_back();
@@ -70,11 +68,11 @@ class EventHeap {
         size_t best = first;
         const size_t end = first + ARITY < n ? first + ARITY : n;
         for (size_t c = first + 1; c < end; ++c) {
-          if (Before(heap_[c], heap_[best])) {
+          if (EventKeyBefore(heap_[c], heap_[best])) {
             best = c;
           }
         }
-        if (!Before(heap_[best], last)) {
+        if (!EventKeyBefore(heap_[best], last)) {
           break;
         }
         heap_[i] = heap_[best];
@@ -86,16 +84,9 @@ class EventHeap {
   }
 
   // O(1); keeps capacity so a cleared simulator can refill without growing.
-  void Clear() { heap_.clear(); }
+  void Clear() override { heap_.clear(); }
 
  private:
-  static bool Before(const EventKey& a, const EventKey& b) {
-    if (a.at != b.at) {
-      return a.at < b.at;
-    }
-    return a.seq < b.seq;
-  }
-
   std::vector<EventKey> heap_;
 };
 

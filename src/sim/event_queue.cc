@@ -1,0 +1,29 @@
+#include "sim/event_queue.h"
+
+namespace draconis::sim {
+
+const char* QueueBackendName(QueueBackend backend) {
+  switch (backend) {
+    case QueueBackend::kLadder:
+      return "ladder";
+    case QueueBackend::kHeap:
+      return "heap";
+  }
+  return "unknown";
+}
+
+bool QueueBackendFromName(const std::string& name, QueueBackend* out) {
+  for (QueueBackend backend : AllQueueBackends()) {
+    if (name == QueueBackendName(backend)) {
+      *out = backend;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<QueueBackend> AllQueueBackends() {
+  return {QueueBackend::kLadder, QueueBackend::kHeap};
+}
+
+}  // namespace draconis::sim

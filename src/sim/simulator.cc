@@ -30,106 +30,51 @@ void Timer::Bind(Simulator* sim, std::function<void()> fn) {
   slot_ = sim_->RegisterTimer(this);
 }
 
-void Timer::ScheduleAt(TimeNs at) {
-  DRACONIS_CHECK_MSG(sim_ != nullptr, "Timer used before Bind()");
-  sim_->ArmTimer(*this, at);
-}
-
-void Timer::ScheduleAfter(TimeNs delay) {
-  DRACONIS_CHECK_MSG(sim_ != nullptr, "Timer used before Bind()");
-  DRACONIS_CHECK(delay >= 0);
-  sim_->ArmTimer(*this, sim_->Now() + delay);
-}
-
-void Timer::Cancel() {
-  if (sim_ != nullptr) {
-    sim_->DisarmTimer(*this);
-  }
-}
-
-bool Timer::pending() const { return sim_ != nullptr && sim_->TimerPending(*this); }
-
 // --- Simulator: slab ---------------------------------------------------------
 
-uint32_t Simulator::AllocSlot() {
-  if (free_head_ != kNilSlot) {
-    const uint32_t slot = free_head_;
-    free_head_ = slots_[slot].next_free;
-    return slot;
-  }
-  slots_.emplace_back();
-  return static_cast<uint32_t>(slots_.size() - 1);
-}
-
 void Simulator::FreeSlot(uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.fn = nullptr;
-  s.timer = nullptr;
-  s.live_gen = 0;
-  s.next_free = free_head_;
+  Payload& p = payloads_[slot];
+  p.fn = nullptr;
+  p.timer = nullptr;
+  gens_[slot] = 0;
+  p.next_free = free_head_;
   free_head_ = slot;
-}
-
-// --- Simulator: scheduling ---------------------------------------------------
-
-EventKey Simulator::Push(TimeNs at, std::function<void()> fn) {
-  DRACONIS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
-  const uint64_t seq = next_seq_++;
-  const uint32_t slot = AllocSlot();
-  Slot& s = slots_[slot];
-  s.live_gen = seq + 1;
-  s.fn = std::move(fn);
-  heap_.Push(EventKey{at, seq, slot});
-  ++live_;
-  return EventKey{at, seq, slot};
-}
-
-void Simulator::At(TimeNs at, std::function<void()> fn) { Push(at, std::move(fn)); }
-
-void Simulator::After(TimeNs delay, std::function<void()> fn) {
-  DRACONIS_CHECK(delay >= 0);
-  Push(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulator::CancellableAt(TimeNs at, std::function<void()> fn) {
-  const EventKey key = Push(at, std::move(fn));
-  return EventHandle(this, key.slot, key.seq);
-}
-
-EventHandle Simulator::CancellableAfter(TimeNs delay, std::function<void()> fn) {
-  DRACONIS_CHECK(delay >= 0);
-  return CancellableAt(now_ + delay, std::move(fn));
 }
 
 // --- Simulator: run loop -----------------------------------------------------
 
-uint64_t Simulator::Run(bool bounded, TimeNs until) {
+// Monomorphized per backend (Queue is a concrete `final` class, so the
+// Peek/Pop calls inline) — the enum dispatch happens once per Run, not per
+// event.
+template <typename Queue>
+uint64_t Simulator::RunLoop(Queue& queue, bool bounded, TimeNs until) {
   uint64_t ran = 0;
-  while (!heap_.empty()) {
-    if (bounded && heap_.top().at > until) {
+  EventKey key;
+  while (queue.PeekTop(&key)) {
+    if (bounded && key.at > until) {
       break;
     }
-    const EventKey key = heap_.PopTop();
-    Slot& s = slots_[key.slot];
-    if (s.live_gen != key.seq + 1) {
+    queue.PopTop();
+    if (gens_[key.slot] != key.seq + 1) {
       continue;  // cancelled, or a re-armed timer superseded this key
     }
-    s.live_gen = 0;
+    gens_[key.slot] = 0;
     --live_;
     now_ = key.at;
     ++ran;
     ++executed_;
-    if (s.timer != nullptr) {
+    Payload& p = payloads_[key.slot];
+    if (p.timer != nullptr) {
       // Persistent slot: the callback lives in the Timer (stable storage)
-      // and may re-arm it. Don't touch `s` after the call — the closure may
-      // schedule events and grow the slab.
-      Timer* timer = s.timer;
+      // and may re-arm it. Don't touch the slot after the call — the closure
+      // may schedule events and grow the slab.
+      Timer* timer = p.timer;
       timer->fn_();
     } else {
-      std::function<void()> fn = std::move(s.fn);
+      std::function<void()> fn = std::move(p.fn);
       // Minimal free: `fn` was just moved out (leaving the slot's empty) and
       // one-shot slots never hold a timer, so only relink the freelist.
-      s.next_free = free_head_;
+      p.next_free = free_head_;
       free_head_ = key.slot;
       fn();
     }
@@ -140,19 +85,29 @@ uint64_t Simulator::Run(bool bounded, TimeNs until) {
   return ran;
 }
 
+uint64_t Simulator::Run(bool bounded, TimeNs until) {
+  if (backend_ == QueueBackend::kLadder) {
+    return RunLoop(ladder_, bounded, until);
+  }
+  return RunLoop(heap_, bounded, until);
+}
+
 uint64_t Simulator::RunUntil(TimeNs until) { return Run(/*bounded=*/true, until); }
 
 uint64_t Simulator::RunAll() { return Run(/*bounded=*/false, 0); }
 
 void Simulator::Clear() {
-  heap_.Clear();
-  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
-    Slot& s = slots_[slot];
-    if (s.live_gen == 0) {
+  if (backend_ == QueueBackend::kLadder) {
+    ladder_.Clear();
+  } else {
+    heap_.Clear();
+  }
+  for (uint32_t slot = 0; slot < gens_.size(); ++slot) {
+    if (gens_[slot] == 0) {
       continue;
     }
-    s.live_gen = 0;
-    if (s.timer == nullptr) {
+    gens_[slot] = 0;
+    if (payloads_[slot].timer == nullptr) {
       FreeSlot(slot);
     }
   }
@@ -162,53 +117,29 @@ void Simulator::Clear() {
 // --- Simulator: handle plumbing ----------------------------------------------
 
 void Simulator::CancelHandle(const EventHandle& handle) {
-  Slot& s = slots_[handle.slot_];
-  if (s.live_gen == handle.gen_ + 1) {
+  if (gens_[handle.slot_] == handle.gen_ + 1) {
     --live_;
-    FreeSlot(handle.slot_);  // releases the closure; the heap key goes stale
+    FreeSlot(handle.slot_);  // releases the closure; the queue key goes stale
   }
 }
 
 bool Simulator::HandlePending(const EventHandle& handle) const {
-  return slots_[handle.slot_].live_gen == handle.gen_ + 1;
+  return gens_[handle.slot_] == handle.gen_ + 1;
 }
 
 // --- Simulator: timer plumbing -----------------------------------------------
 
 uint32_t Simulator::RegisterTimer(Timer* timer) {
   const uint32_t slot = AllocSlot();
-  slots_[slot].timer = timer;
+  payloads_[slot].timer = timer;
   return slot;
 }
 
 void Simulator::UnregisterTimer(const Timer& timer) {
-  if (slots_[timer.slot_].live_gen != 0) {
+  if (gens_[timer.slot_] != 0) {
     --live_;
   }
   FreeSlot(timer.slot_);
-}
-
-void Simulator::ArmTimer(const Timer& timer, TimeNs at) {
-  DRACONIS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
-  Slot& s = slots_[timer.slot_];
-  if (s.live_gen == 0) {
-    ++live_;
-  }
-  const uint64_t seq = next_seq_++;
-  s.live_gen = seq + 1;  // any previously pushed key for this slot goes stale
-  heap_.Push(EventKey{at, seq, timer.slot_});
-}
-
-void Simulator::DisarmTimer(const Timer& timer) {
-  Slot& s = slots_[timer.slot_];
-  if (s.live_gen != 0) {
-    s.live_gen = 0;
-    --live_;
-  }
-}
-
-bool Simulator::TimerPending(const Timer& timer) const {
-  return slots_[timer.slot_].live_gen != 0;
 }
 
 }  // namespace draconis::sim

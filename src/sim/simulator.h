@@ -1,24 +1,40 @@
 // Discrete-event simulator.
 //
 // The simulator owns a virtual clock and a slab of event slots indexed by a
-// binary heap of (time, sequence, slot) keys. Events scheduled for the same
-// instant run in scheduling order (the sequence number breaks ties), which
-// gives the deterministic serial packet ordering the switch model relies on.
+// pluggable event queue of (time, sequence, slot) keys. Events scheduled for
+// the same instant run in scheduling order (the sequence number breaks
+// ties), which gives the deterministic serial packet ordering the switch
+// model relies on.
+//
+// Scheduling surface: one orthogonal pair.
+//
+//   sim.ScheduleAt(at, fn);                  // fire-and-forget
+//   sim.ScheduleAfter(delay, fn);
+//   EventHandle h = sim.ScheduleAt(at, fn, kCancellable);   // cancellable
+//   EventHandle h = sim.ScheduleAfter(delay, fn, kCancellable);
+//
+// The fire-and-forget default is the zero-overhead path; passing
+// `kCancellable` opts into a handle. `Timer` is the reusable-event path for
+// high-frequency periodic callers (executor pull loops and the like): the
+// callback is stored once and re-arming costs one queue push — no
+// per-occurrence allocation at all.
 //
 // Engine layout:
-//  - Slots live in a free-listed slab and hold the closure; they are
+//  - Slots live in a free-listed slab split into a hot generation array
+//    (one word per slot — all the dequeue validation scan ever touches) and
+//    a cold payload array (closure, timer pointer, freelist link). Slots are
 //    recycled after an event fires or is cancelled, so steady-state
 //    scheduling does not grow any container.
-//  - The heap orders trivially copyable 24-byte keys (see event_heap.h);
-//    the closure never moves during sifts.
+//  - The queue orders trivially copyable 24-byte keys; the closure never
+//    moves. Two backends — the ladder queue (default) and the binary heap —
+//    are selected at construction and produce bit-identical execution order
+//    (see event_queue.h). Both are held as concrete `final` members behind
+//    an enum dispatch, so the run loop is fully devirtualized.
 //  - Cancellation is O(1) and allocation-free: handles carry the slot index
 //    plus the generation the slot had when the event was scheduled. A
 //    cancelled or fired slot bumps to a new generation on reuse, so a stale
 //    handle can never touch the slot's next occupant. Cancelled events are
-//    dropped lazily when their heap key surfaces.
-//  - `Timer` is the reusable-event path for high-frequency periodic callers
-//    (executor pull loops and the like): the callback is stored once and
-//    re-arming costs one heap push — no per-occurrence allocation at all.
+//    dropped lazily when their queue key surfaces.
 //
 // Handles and timers index into the simulator's slab and must not outlive
 // it (in practice they are members of objects that already hold the
@@ -34,10 +50,19 @@
 #include "common/check.h"
 #include "common/time.h"
 #include "sim/event_heap.h"
+#include "sim/event_queue.h"
+#include "sim/ladder_queue.h"
 
 namespace draconis::sim {
 
 class Simulator;
+
+// Tag selecting the cancellable Schedule{At,After} overloads:
+//   sim.ScheduleAfter(delay, fn, kCancellable)
+struct CancellableTag {
+  explicit CancellableTag() = default;
+};
+inline constexpr CancellableTag kCancellable{};
 
 // Handle for a scheduled event that may be cancelled before it fires.
 // Copies refer to the same underlying event and observe each other's
@@ -104,21 +129,24 @@ class Timer {
 
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(QueueBackend backend = kDefaultQueueBackend)
+      : backend_(backend) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   TimeNs Now() const { return now_; }
+  QueueBackend queue_backend() const { return backend_; }
 
-  // Schedules fn at absolute time `at` (>= Now()).
-  void At(TimeNs at, std::function<void()> fn);
+  // Schedules fn at absolute time `at` (>= Now()), fire-and-forget.
+  void ScheduleAt(TimeNs at, std::function<void()> fn);
 
-  // Schedules fn after a relative delay (>= 0).
-  void After(TimeNs delay, std::function<void()> fn);
+  // Schedules fn after a relative delay (>= 0), fire-and-forget.
+  void ScheduleAfter(TimeNs delay, std::function<void()> fn);
 
-  // Like At/After but returns a handle that can cancel the event.
-  EventHandle CancellableAt(TimeNs at, std::function<void()> fn);
-  EventHandle CancellableAfter(TimeNs delay, std::function<void()> fn);
+  // Cancellable variants: return a handle that can cancel the event.
+  EventHandle ScheduleAt(TimeNs at, std::function<void()> fn, CancellableTag);
+  EventHandle ScheduleAfter(TimeNs delay, std::function<void()> fn,
+                            CancellableTag);
 
   // Runs events until the queue drains or the clock passes `until`.
   // Events scheduled exactly at `until` still run. Returns the number of
@@ -143,12 +171,10 @@ class Simulator {
 
   static constexpr uint32_t kNilSlot = UINT32_MAX;
 
-  struct Slot {
-    // Generation + liveness in one word: `seq + 1` of the current occupancy
-    // while it is armed, 0 once it fires / is cancelled / is disarmed. A
-    // heap key or handle is live iff this equals its own seq + 1, which
-    // makes pop-validation and stale-handle rejection a single compare.
-    uint64_t live_gen = 0;
+  // Cold per-slot state; the hot liveness word lives in gens_ so the run
+  // loop's stale-key scan touches one cache line per ~8 keys instead of one
+  // per slot.
+  struct Payload {
     std::function<void()> fn;  // one-shot payload; empty for timer slots
     Timer* timer = nullptr;    // set for slots pinned by a Timer
     uint32_t next_free = kNilSlot;
@@ -158,7 +184,11 @@ class Simulator {
   void FreeSlot(uint32_t slot);
   // Schedules a one-shot event and returns (slot, gen) for handle creation.
   EventKey Push(TimeNs at, std::function<void()> fn);
+  // Enum dispatch to a concrete backend; both calls devirtualize.
+  void QueuePush(EventKey key);
   uint64_t Run(bool bounded, TimeNs until);
+  template <typename Queue>
+  uint64_t RunLoop(Queue& queue, bool bounded, TimeNs until);
 
   // Timer plumbing.
   uint32_t RegisterTimer(Timer* timer);
@@ -171,14 +201,123 @@ class Simulator {
   void CancelHandle(const EventHandle& handle);
   bool HandlePending(const EventHandle& handle) const;
 
+  const QueueBackend backend_;
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   size_t live_ = 0;
   uint32_t free_head_ = kNilSlot;
-  std::vector<Slot> slots_;
+  // Hot: generation + liveness in one word per slot — `seq + 1` of the
+  // current occupancy while armed, 0 once it fires / is cancelled /
+  // is disarmed. A queue key or handle is live iff this equals its own
+  // seq + 1, which makes pop-validation and stale-handle rejection a single
+  // compare.
+  std::vector<uint64_t> gens_;
+  std::vector<Payload> payloads_;  // cold, parallel to gens_
   EventHeap heap_;
+  LadderQueue ladder_;
 };
+
+// The scheduling fast path is header-inline: benches and the cluster layers
+// schedule millions of events per run, and the slab + queue push should
+// flatten into the caller.
+
+inline uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNilSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = payloads_[slot].next_free;
+    return slot;
+  }
+  gens_.push_back(0);
+  payloads_.emplace_back();
+  return static_cast<uint32_t>(gens_.size() - 1);
+}
+
+inline void Simulator::QueuePush(EventKey key) {
+  if (backend_ == QueueBackend::kLadder) {
+    ladder_.Push(key);
+  } else {
+    heap_.Push(key);
+  }
+}
+
+inline EventKey Simulator::Push(TimeNs at, std::function<void()> fn) {
+  DRACONIS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  const uint64_t seq = next_seq_++;
+  const uint32_t slot = AllocSlot();
+  gens_[slot] = seq + 1;
+  payloads_[slot].fn = std::move(fn);
+  QueuePush(EventKey{at, seq, slot});
+  ++live_;
+  return EventKey{at, seq, slot};
+}
+
+inline void Simulator::ScheduleAt(TimeNs at, std::function<void()> fn) {
+  Push(at, std::move(fn));
+}
+
+inline void Simulator::ScheduleAfter(TimeNs delay, std::function<void()> fn) {
+  DRACONIS_CHECK(delay >= 0);
+  Push(now_ + delay, std::move(fn));
+}
+
+inline EventHandle Simulator::ScheduleAt(TimeNs at, std::function<void()> fn,
+                                         CancellableTag) {
+  const EventKey key = Push(at, std::move(fn));
+  return EventHandle(this, key.slot, key.seq);
+}
+
+inline EventHandle Simulator::ScheduleAfter(TimeNs delay,
+                                            std::function<void()> fn,
+                                            CancellableTag) {
+  DRACONIS_CHECK(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn), kCancellable);
+}
+
+// Timer re-arm is the other per-event hot path (executor pull loops re-arm
+// from inside the callback), so it inlines the same way.
+
+inline void Simulator::ArmTimer(const Timer& timer, TimeNs at) {
+  DRACONIS_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  if (gens_[timer.slot_] == 0) {
+    ++live_;
+  }
+  const uint64_t seq = next_seq_++;
+  gens_[timer.slot_] = seq + 1;  // any previously pushed key goes stale
+  QueuePush(EventKey{at, seq, timer.slot_});
+}
+
+inline void Simulator::DisarmTimer(const Timer& timer) {
+  if (gens_[timer.slot_] != 0) {
+    gens_[timer.slot_] = 0;
+    --live_;
+  }
+}
+
+inline bool Simulator::TimerPending(const Timer& timer) const {
+  return gens_[timer.slot_] != 0;
+}
+
+inline void Timer::ScheduleAt(TimeNs at) {
+  DRACONIS_CHECK_MSG(sim_ != nullptr, "Timer used before Bind()");
+  sim_->ArmTimer(*this, at);
+}
+
+inline void Timer::ScheduleAfter(TimeNs delay) {
+  DRACONIS_CHECK_MSG(sim_ != nullptr, "Timer used before Bind()");
+  DRACONIS_CHECK(delay >= 0);
+  sim_->ArmTimer(*this, sim_->Now() + delay);
+}
+
+inline void Timer::Cancel() {
+  if (sim_ != nullptr) {
+    sim_->DisarmTimer(*this);
+  }
+}
+
+inline bool Timer::pending() const {
+  return sim_ != nullptr && sim_->TimerPending(*this);
+}
 
 }  // namespace draconis::sim
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "sim/event_queue.h"
 #include "stats/histogram.h"
 
 namespace draconis::sweep {
@@ -150,6 +151,7 @@ std::string RenderJson(const SweepSpec& spec, const std::vector<SweepPointResult
       if (config.switch_policy != core::SwitchPolicy::kFifo) {
         w.Key("switch_policy").String(core::SwitchPolicyName(config.switch_policy));
       }
+      w.Key("sim_queue").String(sim::QueueBackendName(config.sim_queue));
       w.Key("seed").UInt(config.seed);
     }
     WriteResultBody(w, point.result);

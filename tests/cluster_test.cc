@@ -295,7 +295,7 @@ TEST_F(ExecutorTest, PullLoopExecutesSubmittedTask) {
   Executor& ex = MakeExecutor();
   TaskSpec spec;
   spec.duration = FromMicros(100);
-  simulator.At(FromMicros(30), [&] { client->SubmitJob({spec}); });
+  simulator.ScheduleAt(FromMicros(30), [&] { client->SubmitJob({spec}); });
   simulator.RunUntil(FromMillis(1));
   EXPECT_EQ(ex.tasks_executed(), 1u);
   EXPECT_EQ(client->completions(), 1u);
@@ -333,7 +333,7 @@ TEST_F(ExecutorTest, FetchesOversizedParamsBeforeRunning) {
   TaskSpec spec;
   spec.duration = FromMicros(100);
   spec.oversized_param_bytes = 32 * 1024;
-  simulator.At(FromMicros(30), [&] { client->SubmitJob({spec}); });
+  simulator.ScheduleAt(FromMicros(30), [&] { client->SubmitJob({spec}); });
   simulator.RunUntil(FromMillis(2));
   EXPECT_EQ(ex.tasks_executed(), 1u);
   EXPECT_EQ(client->completions(), 1u);
@@ -349,10 +349,10 @@ TEST_F(ExecutorTest, ParamFetchSurvivesLostData) {
   TaskSpec spec;
   spec.duration = FromMicros(100);
   spec.oversized_param_bytes = 1024;
-  simulator.At(FromMicros(30), [&] { client->SubmitJob({spec}); });
+  simulator.ScheduleAt(FromMicros(30), [&] { client->SubmitJob({spec}); });
   // Lose the first fetch request(s).
   network.InjectDrop(ex.node_id(), client->node_id(), 1.0);
-  simulator.At(FromMillis(1), [&] { network.ClearDropRules(); });
+  simulator.ScheduleAt(FromMillis(1), [&] { network.ClearDropRules(); });
   simulator.RunUntil(FromMillis(5));
   // The client may have resubmitted (duplicates execute too), but it counts
   // exactly one completion and the fetch retry eventually succeeded.
@@ -397,11 +397,11 @@ TEST(FailoverTest, ClusterSurvivesSwitchFailure) {
   // primary switch dies mid-burst with tasks parked in its queue, and the
   // control plane re-points everyone at the standby.
   for (int burst = 0; burst < 10; ++burst) {
-    simulator.At(1 + burst * FromMicros(500), [&] {
+    simulator.ScheduleAt(1 + burst * FromMicros(500), [&] {
       client.SubmitJob(std::vector<TaskSpec>(16, TaskSpec{FromMicros(100), 0, 0, 0, 0}));
     });
   }
-  simulator.At(FromMillis(2) + FromMicros(60), [&] {
+  simulator.ScheduleAt(FromMillis(2) + FromMicros(60), [&] {
     network.Disconnect(node_a);
     client.SetScheduler(node_b);
     for (auto& executor : executors) {
@@ -471,7 +471,7 @@ TEST(FailoverTest, InjectorDrivenFailoverLosesNoTasks) {
   injector.Arm();
 
   for (int burst = 0; burst < 10; ++burst) {
-    simulator.At(1 + burst * FromMicros(500), [&] {
+    simulator.ScheduleAt(1 + burst * FromMicros(500), [&] {
       client.SubmitJob(std::vector<TaskSpec>(16, TaskSpec{FromMicros(100), 0, 0, 0, 0}));
     });
   }

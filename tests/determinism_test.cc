@@ -183,18 +183,56 @@ TEST(DeterminismTest, PinnedGoldensPerSchedulerKind) {
       {cluster::SchedulerKind::kRackSched, 130, 7551, 369897, 516095, 872611, 10000.0},
       {cluster::SchedulerKind::kSparrow, 130, 24063, 393215, 540671, 899701, 10000.0},
   };
-  for (const SchedulerGolden& golden : goldens) {
-    SCOPED_TRACE(cluster::SchedulerKindName(golden.kind));
-    cluster::ExperimentConfig config = Fig05aMiniConfig();
-    config.scheduler = golden.kind;
-    cluster::ExperimentResult result = RunExperiment(config);
-    EXPECT_EQ(result.metrics->tasks_completed(), golden.completions);
-    EXPECT_EQ(result.metrics->sched_delay().Percentile(0.50), golden.sched_p50);
-    EXPECT_EQ(result.metrics->sched_delay().Percentile(0.99), golden.sched_p99);
-    EXPECT_EQ(result.metrics->e2e_delay().Percentile(0.50), golden.e2e_p50);
-    EXPECT_EQ(result.metrics->e2e_delay().Percentile(0.99), golden.e2e_p99);
-    EXPECT_DOUBLE_EQ(result.throughput_tps, golden.throughput_tps);
+  // The same table must hold on every queue backend — the goldens pin the
+  // (at, seq) contract, not one queue implementation.
+  for (sim::QueueBackend backend : sim::AllQueueBackends()) {
+    SCOPED_TRACE(sim::QueueBackendName(backend));
+    for (const SchedulerGolden& golden : goldens) {
+      SCOPED_TRACE(cluster::SchedulerKindName(golden.kind));
+      cluster::ExperimentConfig config = Fig05aMiniConfig();
+      config.scheduler = golden.kind;
+      config.sim_queue = backend;
+      cluster::ExperimentResult result = RunExperiment(config);
+      EXPECT_EQ(result.metrics->tasks_completed(), golden.completions);
+      EXPECT_EQ(result.metrics->sched_delay().Percentile(0.50), golden.sched_p50);
+      EXPECT_EQ(result.metrics->sched_delay().Percentile(0.99), golden.sched_p99);
+      EXPECT_EQ(result.metrics->e2e_delay().Percentile(0.50), golden.e2e_p50);
+      EXPECT_EQ(result.metrics->e2e_delay().Percentile(0.99), golden.e2e_p99);
+      EXPECT_DOUBLE_EQ(result.throughput_tps, golden.throughput_tps);
+    }
   }
+}
+
+// The cross-backend contract head-on: a heap run and a ladder run of the
+// fig05a-shaped experiment are bit-identical in every metric. Combined with
+// the pinned table above this proves the backends interchangeable for every
+// published number.
+TEST(DeterminismTest, HeapAndLadderBackendsAreBitIdenticalOnFig05a) {
+  cluster::ExperimentConfig heap_config = Fig05aMiniConfig();
+  heap_config.sim_queue = sim::QueueBackend::kHeap;
+  cluster::ExperimentConfig ladder_config = Fig05aMiniConfig();
+  ladder_config.sim_queue = sim::QueueBackend::kLadder;
+
+  cluster::ExperimentResult a = RunExperiment(heap_config);
+  cluster::ExperimentResult b = RunExperiment(ladder_config);
+
+  EXPECT_EQ(a.metrics->tasks_submitted(), b.metrics->tasks_submitted());
+  EXPECT_EQ(a.metrics->tasks_completed(), b.metrics->tasks_completed());
+  EXPECT_GT(a.metrics->tasks_completed(), 0u);
+  EXPECT_EQ(a.metrics->sched_delay().count(), b.metrics->sched_delay().count());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.metrics->sched_delay().Percentile(q), b.metrics->sched_delay().Percentile(q))
+        << "q=" << q;
+    EXPECT_EQ(a.metrics->e2e_delay().Percentile(q), b.metrics->e2e_delay().Percentile(q))
+        << "q=" << q;
+  }
+  EXPECT_EQ(a.switch_counters.passes, b.switch_counters.passes);
+  EXPECT_EQ(a.counters.tasks_assigned, b.counters.tasks_assigned);
+  EXPECT_EQ(a.counters.noops_sent, b.counters.noops_sent);
+  // And both equal the pinned kDraconis golden.
+  EXPECT_EQ(b.metrics->tasks_completed(), 130u);
+  EXPECT_EQ(b.metrics->sched_delay().Percentile(0.50), 7679);
+  EXPECT_EQ(b.metrics->e2e_delay().Percentile(0.99), 869596);
 }
 
 // The PIFO equivalence golden (docs/pifo.md): on an untagged fcfs workload
@@ -423,42 +461,52 @@ struct ScriptedWorkload {
       return;
     }
     const int next = static_cast<int>(rng.NextBelow(1 << 30));
-    sim->After(1 + static_cast<TimeNs>(rng.NextBelow(37)), [this, next] { Tick(next); });
+    sim->ScheduleAfter(1 + static_cast<TimeNs>(rng.NextBelow(37)),
+                       [this, next] { Tick(next); });
     // Churn a watchdog like the executor pull loop does.
     watchdog.Cancel();
-    watchdog = sim->CancellableAfter(500 + static_cast<TimeNs>(rng.NextBelow(100)),
-                                     [this] { order->push_back(-2); });
+    watchdog = sim->ScheduleAfter(500 + static_cast<TimeNs>(rng.NextBelow(100)),
+                                  [this] { order->push_back(-2); }, sim::kCancellable);
   }
 };
 
 TEST(DeterminismTest, RunUntilInSmallStepsEqualsOneRunAll) {
-  std::vector<int> order_all;
-  std::vector<int> order_stepped;
-  uint64_t executed_all = 0;
-  uint64_t executed_stepped = 0;
+  // On every backend — and the histories must also agree across backends.
+  std::vector<std::vector<int>> per_backend_orders;
+  for (sim::QueueBackend backend : sim::AllQueueBackends()) {
+    SCOPED_TRACE(sim::QueueBackendName(backend));
+    std::vector<int> order_all;
+    std::vector<int> order_stepped;
+    uint64_t executed_all = 0;
+    uint64_t executed_stepped = 0;
 
-  {
-    sim::Simulator sim;
-    ScriptedWorkload wl(&sim, 77, &order_all, 3000);
-    sim.RunAll();
-    executed_all = sim.executed_events();
-  }
-  {
-    sim::Simulator sim;
-    ScriptedWorkload wl(&sim, 77, &order_stepped, 3000);
-    // Many tiny uneven steps must replay the exact same history.
-    TimeNs t = 0;
-    Rng step_rng(123);
-    while (sim.pending_events() > 0) {
-      t += 1 + static_cast<TimeNs>(step_rng.NextBelow(23));
-      sim.RunUntil(t);
+    {
+      sim::Simulator sim(backend);
+      ScriptedWorkload wl(&sim, 77, &order_all, 3000);
+      sim.RunAll();
+      executed_all = sim.executed_events();
     }
-    executed_stepped = sim.executed_events();
-  }
+    {
+      sim::Simulator sim(backend);
+      ScriptedWorkload wl(&sim, 77, &order_stepped, 3000);
+      // Many tiny uneven steps must replay the exact same history.
+      TimeNs t = 0;
+      Rng step_rng(123);
+      while (sim.pending_events() > 0) {
+        t += 1 + static_cast<TimeNs>(step_rng.NextBelow(23));
+        sim.RunUntil(t);
+      }
+      executed_stepped = sim.executed_events();
+    }
 
-  EXPECT_EQ(order_all, order_stepped);
-  EXPECT_EQ(executed_all, executed_stepped);
-  EXPECT_GT(executed_all, 3000u);
+    EXPECT_EQ(order_all, order_stepped);
+    EXPECT_EQ(executed_all, executed_stepped);
+    EXPECT_GT(executed_all, 3000u);
+    per_backend_orders.push_back(std::move(order_all));
+  }
+  for (size_t i = 1; i < per_backend_orders.size(); ++i) {
+    EXPECT_EQ(per_backend_orders[0], per_backend_orders[i]);
+  }
 }
 
 }  // namespace

@@ -1,11 +1,13 @@
-// Oracle differential test for the event engine.
+// Oracle differential tests for the event engine.
 //
 // A naive reference queue — a sorted std::vector of (at, seq, id) with
 // eager cancellation — is driven through the same randomized interleavings
-// of schedule / cancel / timer-arm / run-until as the real slab+heap
-// engine. At every step the firing order, the clock, and the live-event
-// count must match exactly; after each drain every outstanding handle's
-// pending() must agree with the model. 32 seeds x ~10k operations.
+// of schedule / cancel / timer-arm / run-until as the real slab+queue
+// engine, on each queue backend. At every step the firing order, the clock,
+// and the live-event count must match exactly; after each drain every
+// outstanding handle's pending() must agree with the model. 32 seeds x
+// ~10k operations per backend. A second differential drives the raw
+// EventQueue backends against each other below the Simulator entirely.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +18,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/event_heap.h"
+#include "sim/ladder_queue.h"
 #include "sim/simulator.h"
 
 namespace draconis::sim {
@@ -94,6 +98,8 @@ struct LiveHandle {
 constexpr int kTimerCount = 3;
 
 struct Fixture {
+  explicit Fixture(QueueBackend backend) : sim(backend) {}
+
   Simulator sim;
   ReferenceQueue ref;
   std::vector<int> fired;  // ids recorded by real-engine callbacks
@@ -104,8 +110,8 @@ struct Fixture {
   int next_id = 0;
 };
 
-void DriveSeed(uint64_t seed, int steps) {
-  Fixture fx;
+void DriveSeed(QueueBackend backend, uint64_t seed, int steps) {
+  Fixture fx(backend);
   // Timer ids are negative so they can't collide with one-shot ids; timer t
   // fires id -(t+1).
   for (int t = 0; t < kTimerCount; ++t) {
@@ -120,13 +126,14 @@ void DriveSeed(uint64_t seed, int steps) {
       // Plain one-shot event.
       const TimeNs at = fx.sim.Now() + static_cast<TimeNs>(rng.NextBelow(1000));
       const int id = fx.next_id++;
-      fx.sim.At(at, [&fx, id] { fx.fired.push_back(id); });
+      fx.sim.ScheduleAt(at, [&fx, id] { fx.fired.push_back(id); });
       fx.ref.Schedule(at, id);
     } else if (op < 60) {
       // Cancellable one-shot event; keep the handle.
       const TimeNs at = fx.sim.Now() + static_cast<TimeNs>(rng.NextBelow(1000));
       const int id = fx.next_id++;
-      EventHandle h = fx.sim.CancellableAt(at, [&fx, id] { fx.fired.push_back(id); });
+      EventHandle h =
+          fx.sim.ScheduleAt(at, [&fx, id] { fx.fired.push_back(id); }, kCancellable);
       fx.handles.push_back(LiveHandle{h, fx.ref.Schedule(at, id)});
     } else if (op < 70) {
       // Cancel a random tracked handle (may already have fired).
@@ -202,9 +209,11 @@ void DriveSeed(uint64_t seed, int steps) {
   }
 }
 
-TEST(EventQueuePropertyTest, MatchesNaiveReferenceAcross32Seeds) {
+class EventQueuePropertyTest : public ::testing::TestWithParam<QueueBackend> {};
+
+TEST_P(EventQueuePropertyTest, MatchesNaiveReferenceAcross32Seeds) {
   for (uint64_t seed = 1; seed <= 32; ++seed) {
-    DriveSeed(seed, 10000);
+    DriveSeed(GetParam(), seed, 10000);
     if (::testing::Test::HasFatalFailure()) {
       return;
     }
@@ -214,9 +223,9 @@ TEST(EventQueuePropertyTest, MatchesNaiveReferenceAcross32Seeds) {
 // A deliberately adversarial clustering: many events at the same instant,
 // interleaved with cancellations, so the (at, seq) tie-break is exercised
 // hard.
-TEST(EventQueuePropertyTest, SameInstantClustersKeepSchedulingOrder) {
+TEST_P(EventQueuePropertyTest, SameInstantClustersKeepSchedulingOrder) {
   for (uint64_t seed = 100; seed < 108; ++seed) {
-    Simulator sim;
+    Simulator sim(GetParam());
     ReferenceQueue ref;
     std::vector<int> fired;
     std::vector<LiveHandle> handles;
@@ -227,10 +236,11 @@ TEST(EventQueuePropertyTest, SameInstantClustersKeepSchedulingOrder) {
       for (int burst = 0; burst < 20; ++burst) {
         const int id = next_id++;
         if (rng.NextBool(0.5)) {
-          EventHandle h = sim.CancellableAt(t, [&fired, id] { fired.push_back(id); });
+          EventHandle h =
+              sim.ScheduleAt(t, [&fired, id] { fired.push_back(id); }, kCancellable);
           handles.push_back(LiveHandle{h, ref.Schedule(t, id)});
         } else {
-          sim.At(t, [&fired, id] { fired.push_back(id); });
+          sim.ScheduleAt(t, [&fired, id] { fired.push_back(id); });
           ref.Schedule(t, id);
         }
       }
@@ -248,6 +258,94 @@ TEST(EventQueuePropertyTest, SameInstantClustersKeepSchedulingOrder) {
     }
     sim.RunAll();
     // (drain; counts already compared each round)
+  }
+}
+
+std::string BackendName(const ::testing::TestParamInfo<QueueBackend>& param) {
+  return QueueBackendName(param.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueuePropertyTest,
+                         ::testing::ValuesIn(AllQueueBackends()), BackendName);
+
+// Differential below the Simulator: drive the raw backends through the
+// EventQueue interface with randomized push/pop interleavings (including
+// duplicate instants, far-future spikes, and pushes into the already-sorted
+// near window) and require the pop streams to be identical key-for-key.
+TEST(EventQueueDifferentialTest, HeapAndLadderPopIdenticalStreams) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    EventHeap heap;
+    LadderQueue ladder;
+    EventQueue* const queues[] = {&heap, &ladder};
+    Rng rng(seed);
+    uint64_t next_seq = 0;
+    TimeNs low_watermark = 0;  // keys are never pushed below the last pop
+    for (int step = 0; step < 20000; ++step) {
+      const uint64_t op = rng.NextBelow(100);
+      if (op < 55 || heap.empty()) {
+        TimeNs at = low_watermark;
+        const uint64_t shape = rng.NextBelow(10);
+        if (shape < 6) {
+          at += static_cast<TimeNs>(rng.NextBelow(256));  // near horizon
+        } else if (shape < 9) {
+          at += static_cast<TimeNs>(rng.NextBelow(1'000'000));  // ~ms ahead
+        }  // else: exactly at the watermark (same-instant cluster)
+        const EventKey key{at, next_seq++, static_cast<uint32_t>(step)};
+        for (EventQueue* q : queues) {
+          q->Push(key);
+        }
+      } else {
+        EventKey heap_peek{};
+        EventKey ladder_peek{};
+        ASSERT_TRUE(heap.PeekTop(&heap_peek));
+        ASSERT_TRUE(ladder.PeekTop(&ladder_peek));
+        const EventKey a = heap.PopTop();
+        const EventKey b = ladder.PopTop();
+        ASSERT_EQ(a.at, b.at) << "seed=" << seed << " step=" << step;
+        ASSERT_EQ(a.seq, b.seq) << "seed=" << seed << " step=" << step;
+        ASSERT_EQ(a.slot, b.slot) << "seed=" << seed << " step=" << step;
+        ASSERT_EQ(heap_peek.seq, a.seq);
+        ASSERT_EQ(ladder_peek.seq, b.seq);
+        low_watermark = a.at;
+      }
+      ASSERT_EQ(heap.size(), ladder.size());
+      ASSERT_EQ(heap.empty(), ladder.empty());
+    }
+    // Drain both; the tails must agree too.
+    EventKey peek{};
+    while (heap.PeekTop(&peek)) {
+      ASSERT_TRUE(ladder.PeekTop(&peek));
+      const EventKey a = heap.PopTop();
+      const EventKey b = ladder.PopTop();
+      ASSERT_EQ(a.at, b.at) << "seed=" << seed;
+      ASSERT_EQ(a.seq, b.seq) << "seed=" << seed;
+    }
+    ASSERT_TRUE(ladder.empty());
+  }
+}
+
+// Clear() must reset the backends to a reusable state (capacity kept,
+// nothing replayed).
+TEST(EventQueueDifferentialTest, ClearResetsBothBackends) {
+  EventHeap heap;
+  LadderQueue ladder;
+  for (EventQueue* q : std::initializer_list<EventQueue*>{&heap, &ladder}) {
+    for (uint64_t i = 0; i < 1000; ++i) {
+      q->Push(EventKey{static_cast<TimeNs>(i * 7 % 113), i, 0});
+    }
+    q->Clear();
+    EXPECT_TRUE(q->empty());
+    EXPECT_EQ(q->size(), 0u);
+    EventKey out{};
+    EXPECT_FALSE(q->PeekTop(&out));
+    // Refill after Clear and pop in order.
+    q->Push(EventKey{10, 1, 0});
+    q->Push(EventKey{5, 2, 0});
+    ASSERT_TRUE(q->PeekTop(&out));
+    EXPECT_EQ(out.at, 5);
+    EXPECT_EQ(q->PopTop().seq, 2u);
+    EXPECT_EQ(q->PopTop().seq, 1u);
+    EXPECT_TRUE(q->empty());
   }
 }
 

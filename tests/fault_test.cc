@@ -217,7 +217,7 @@ struct InjectorFixture {
 
   // One kNoop packet src -> dst at `at`.
   void SendAt(TimeNs at) {
-    testbed.simulator().At(at, [this] {
+    testbed.simulator().ScheduleAt(at, [this] {
       net::Packet pkt;
       pkt.op = net::OpCode::kOther;
       pkt.dst = dst_id;
@@ -273,7 +273,7 @@ TEST(InjectorTest, LatencyDegradeWindowRestoresPenalty) {
   Injector injector(&f.testbed, plan, InjectorHooks{});
   injector.Arm();
 
-  f.testbed.simulator().At(FromMicros(20), [&] {
+  f.testbed.simulator().ScheduleAt(FromMicros(20), [&] {
     EXPECT_EQ(f.testbed.network().latency_penalty(), FromMicros(7));
   });
   f.testbed.simulator().RunAll();

@@ -351,7 +351,7 @@ TEST(NetworkTest, DisconnectDropsInFlightPackets) {
   Packet p;
   p.dst = idb;
   f.network.Send(ida, std::move(p));  // arrives at t=2000 (two hops)
-  f.simulator.At(1000, [&] { f.network.Disconnect(idb); });
+  f.simulator.ScheduleAt(1000, [&] { f.network.Disconnect(idb); });
   f.simulator.RunAll();
   EXPECT_TRUE(b.received.empty());
   EXPECT_EQ(f.network.packets_dropped(), 1u);

@@ -8,28 +8,37 @@
 namespace draconis::sim {
 namespace {
 
-TEST(SimulatorTest, StartsAtZero) {
-  Simulator s;
-  EXPECT_EQ(s.Now(), 0);
-  EXPECT_EQ(s.pending_events(), 0u);
+// Every engine test runs on both queue backends: the contract (ordering,
+// cancellation, clock behavior) is backend-independent.
+class SimulatorTest : public ::testing::TestWithParam<QueueBackend> {};
+
+std::string BackendName(const ::testing::TestParamInfo<QueueBackend>& info) {
+  return QueueBackendName(info.param);
 }
 
-TEST(SimulatorTest, RunsEventsInTimeOrder) {
-  Simulator s;
+TEST_P(SimulatorTest, StartsAtZero) {
+  Simulator s(GetParam());
+  EXPECT_EQ(s.Now(), 0);
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.queue_backend(), GetParam());
+}
+
+TEST_P(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator s(GetParam());
   std::vector<int> order;
-  s.At(30, [&] { order.push_back(3); });
-  s.At(10, [&] { order.push_back(1); });
-  s.At(20, [&] { order.push_back(2); });
+  s.ScheduleAt(30, [&] { order.push_back(3); });
+  s.ScheduleAt(10, [&] { order.push_back(1); });
+  s.ScheduleAt(20, [&] { order.push_back(2); });
   s.RunAll();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(s.Now(), 30);
 }
 
-TEST(SimulatorTest, SameTimeEventsRunInSchedulingOrder) {
-  Simulator s;
+TEST_P(SimulatorTest, SameTimeEventsRunInSchedulingOrder) {
+  Simulator s(GetParam());
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    s.At(5, [&order, i] { order.push_back(i); });
+    s.ScheduleAt(5, [&order, i] { order.push_back(i); });
   }
   s.RunAll();
   for (int i = 0; i < 10; ++i) {
@@ -37,20 +46,20 @@ TEST(SimulatorTest, SameTimeEventsRunInSchedulingOrder) {
   }
 }
 
-TEST(SimulatorTest, AfterIsRelative) {
-  Simulator s;
+TEST_P(SimulatorTest, AfterIsRelative) {
+  Simulator s(GetParam());
   TimeNs fired_at = -1;
-  s.At(100, [&] { s.After(50, [&] { fired_at = s.Now(); }); });
+  s.ScheduleAt(100, [&] { s.ScheduleAfter(50, [&] { fired_at = s.Now(); }); });
   s.RunAll();
   EXPECT_EQ(fired_at, 150);
 }
 
-TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
-  Simulator s;
+TEST_P(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulator s(GetParam());
   int fired = 0;
-  s.At(10, [&] { ++fired; });
-  s.At(20, [&] { ++fired; });
-  s.At(21, [&] { ++fired; });
+  s.ScheduleAt(10, [&] { ++fired; });
+  s.ScheduleAt(20, [&] { ++fired; });
+  s.ScheduleAt(21, [&] { ++fired; });
   const uint64_t ran = s.RunUntil(20);
   EXPECT_EQ(ran, 2u);
   EXPECT_EQ(fired, 2);
@@ -58,42 +67,42 @@ TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
   EXPECT_EQ(s.pending_events(), 1u);
 }
 
-TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
-  Simulator s;
+TEST_P(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator s(GetParam());
   s.RunUntil(1000);
   EXPECT_EQ(s.Now(), 1000);
 }
 
-TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
-  Simulator s;
+TEST_P(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator s(GetParam());
   int depth = 0;
   std::function<void()> chain = [&] {
     if (++depth < 100) {
-      s.After(1, chain);
+      s.ScheduleAfter(1, chain);
     }
   };
-  s.After(1, chain);
+  s.ScheduleAfter(1, chain);
   s.RunAll();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(s.Now(), 100);
 }
 
-TEST(SimulatorTest, SchedulingInThePastThrows) {
-  Simulator s;
-  s.At(100, [] {});
+TEST_P(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator s(GetParam());
+  s.ScheduleAt(100, [] {});
   s.RunAll();
-  EXPECT_THROW(s.At(50, [] {}), CheckFailure);
+  EXPECT_THROW(s.ScheduleAt(50, [] {}), CheckFailure);
 }
 
-TEST(SimulatorTest, NegativeDelayThrows) {
-  Simulator s;
-  EXPECT_THROW(s.After(-1, [] {}), CheckFailure);
+TEST_P(SimulatorTest, NegativeDelayThrows) {
+  Simulator s(GetParam());
+  EXPECT_THROW(s.ScheduleAfter(-1, [] {}), CheckFailure);
 }
 
-TEST(SimulatorTest, CancelPreventsExecution) {
-  Simulator s;
+TEST_P(SimulatorTest, CancelPreventsExecution) {
+  Simulator s(GetParam());
   bool fired = false;
-  EventHandle h = s.CancellableAfter(10, [&] { fired = true; });
+  EventHandle h = s.ScheduleAfter(10, [&] { fired = true; }, kCancellable);
   EXPECT_TRUE(h.pending());
   h.Cancel();
   EXPECT_FALSE(h.pending());
@@ -101,66 +110,66 @@ TEST(SimulatorTest, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
-TEST(SimulatorTest, CancelAfterFiringIsSafe) {
-  Simulator s;
+TEST_P(SimulatorTest, CancelAfterFiringIsSafe) {
+  Simulator s(GetParam());
   bool fired = false;
-  EventHandle h = s.CancellableAfter(10, [&] { fired = true; });
+  EventHandle h = s.ScheduleAfter(10, [&] { fired = true; }, kCancellable);
   s.RunAll();
   EXPECT_TRUE(fired);
   EXPECT_FALSE(h.pending());
   h.Cancel();  // no effect, no crash
 }
 
-TEST(SimulatorTest, DefaultConstructedHandleIsInert) {
+TEST_P(SimulatorTest, DefaultConstructedHandleIsInert) {
   EventHandle h;
   EXPECT_FALSE(h.pending());
   h.Cancel();
 }
 
-TEST(SimulatorTest, ClearDropsPendingEvents) {
-  Simulator s;
+TEST_P(SimulatorTest, ClearDropsPendingEvents) {
+  Simulator s(GetParam());
   int fired = 0;
-  s.At(10, [&] { ++fired; });
-  s.At(20, [&] { ++fired; });
+  s.ScheduleAt(10, [&] { ++fired; });
+  s.ScheduleAt(20, [&] { ++fired; });
   s.Clear();
   s.RunAll();
   EXPECT_EQ(fired, 0);
 }
 
-TEST(SimulatorTest, ClearFromWithinEventStopsTheRun) {
-  Simulator s;
+TEST_P(SimulatorTest, ClearFromWithinEventStopsTheRun) {
+  Simulator s(GetParam());
   int fired = 0;
-  s.At(10, [&] {
+  s.ScheduleAt(10, [&] {
     ++fired;
     s.Clear();
   });
-  s.At(20, [&] { ++fired; });
+  s.ScheduleAt(20, [&] { ++fired; });
   s.RunAll();
   EXPECT_EQ(fired, 1);
 }
 
-TEST(SimulatorTest, ExecutedEventsCounter) {
-  Simulator s;
+TEST_P(SimulatorTest, ExecutedEventsCounter) {
+  Simulator s(GetParam());
   for (int i = 0; i < 5; ++i) {
-    s.At(i, [] {});
+    s.ScheduleAt(i, [] {});
   }
   s.RunAll();
   EXPECT_EQ(s.executed_events(), 5u);
 }
 
-TEST(SimulatorTest, CancelledEventsAreNotCountedAsExecuted) {
-  Simulator s;
-  EventHandle h = s.CancellableAt(5, [] {});
+TEST_P(SimulatorTest, CancelledEventsAreNotCountedAsExecuted) {
+  Simulator s(GetParam());
+  EventHandle h = s.ScheduleAt(5, [] {}, kCancellable);
   h.Cancel();
-  s.At(6, [] {});
+  s.ScheduleAt(6, [] {});
   s.RunAll();
   EXPECT_EQ(s.executed_events(), 1u);
 }
 
-TEST(SimulatorTest, DoubleCancelIsSafe) {
-  Simulator s;
+TEST_P(SimulatorTest, DoubleCancelIsSafe) {
+  Simulator s(GetParam());
   bool fired = false;
-  EventHandle h = s.CancellableAfter(10, [&] { fired = true; });
+  EventHandle h = s.ScheduleAfter(10, [&] { fired = true; }, kCancellable);
   h.Cancel();
   h.Cancel();  // idempotent
   EXPECT_FALSE(h.pending());
@@ -168,10 +177,10 @@ TEST(SimulatorTest, DoubleCancelIsSafe) {
   EXPECT_FALSE(fired);
 }
 
-TEST(SimulatorTest, HandleCopiesObserveEachOthersCancellation) {
-  Simulator s;
+TEST_P(SimulatorTest, HandleCopiesObserveEachOthersCancellation) {
+  Simulator s(GetParam());
   bool fired = false;
-  EventHandle a = s.CancellableAfter(10, [&] { fired = true; });
+  EventHandle a = s.ScheduleAfter(10, [&] { fired = true; }, kCancellable);
   EventHandle b = a;
   EXPECT_TRUE(b.pending());
   a.Cancel();
@@ -182,11 +191,11 @@ TEST(SimulatorTest, HandleCopiesObserveEachOthersCancellation) {
   EXPECT_FALSE(fired);
 }
 
-TEST(SimulatorTest, PendingFlipsExactlyAtFireTime) {
-  Simulator s;
+TEST_P(SimulatorTest, PendingFlipsExactlyAtFireTime) {
+  Simulator s(GetParam());
   EventHandle h;
   bool pending_during_fire = true;
-  h = s.CancellableAt(10, [&] { pending_during_fire = h.pending(); });
+  h = s.ScheduleAt(10, [&] { pending_during_fire = h.pending(); }, kCancellable);
   s.RunUntil(9);
   EXPECT_TRUE(h.pending());  // one tick before the deadline
   s.RunUntil(10);
@@ -194,26 +203,29 @@ TEST(SimulatorTest, PendingFlipsExactlyAtFireTime) {
   EXPECT_FALSE(h.pending());
 }
 
-TEST(SimulatorTest, StaleHandleCannotCancelRecycledSlot) {
-  Simulator s;
+TEST_P(SimulatorTest, StaleHandleCannotCancelRecycledSlot) {
+  Simulator s(GetParam());
   // Fire (and thereby free) the first cancellable event's slot...
-  EventHandle stale = s.CancellableAt(1, [] {});
+  EventHandle stale = s.ScheduleAt(1, [] {}, kCancellable);
   s.RunAll();
   EXPECT_FALSE(stale.pending());
   // ...then let a fresh event recycle that slot (LIFO free list: the very
-  // next allocation reuses it).
+  // next allocation reuses it). The stale handle sees the new generation:
+  // pending() stays false and Cancel() must not touch the new occupant.
   bool fired = false;
-  EventHandle fresh = s.CancellableAt(5, [&] { fired = true; });
-  stale.Cancel();  // generation mismatch: must not touch the new occupant
+  EventHandle fresh = s.ScheduleAt(5, [&] { fired = true; }, kCancellable);
+  EXPECT_FALSE(stale.pending());
+  stale.Cancel();
   EXPECT_TRUE(fresh.pending());
   s.RunAll();
   EXPECT_TRUE(fired);
+  EXPECT_FALSE(stale.pending());
 }
 
-TEST(SimulatorTest, ClearInvalidatesOutstandingHandles) {
-  Simulator s;
+TEST_P(SimulatorTest, ClearInvalidatesOutstandingHandles) {
+  Simulator s(GetParam());
   bool fired = false;
-  EventHandle h = s.CancellableAt(10, [&] { fired = true; });
+  EventHandle h = s.ScheduleAt(10, [&] { fired = true; }, kCancellable);
   s.Clear();
   EXPECT_FALSE(h.pending());
   h.Cancel();  // no-op on the cleared engine
@@ -222,10 +234,15 @@ TEST(SimulatorTest, ClearInvalidatesOutstandingHandles) {
   EXPECT_EQ(s.pending_events(), 0u);
 }
 
+INSTANTIATE_TEST_SUITE_P(Backends, SimulatorTest,
+                         ::testing::ValuesIn(AllQueueBackends()), BackendName);
+
 // --- Timer (the reusable-event path) ----------------------------------------
 
-TEST(TimerTest, FiresAtScheduledTime) {
-  Simulator s;
+class TimerTest : public ::testing::TestWithParam<QueueBackend> {};
+
+TEST_P(TimerTest, FiresAtScheduledTime) {
+  Simulator s(GetParam());
   TimeNs fired_at = -1;
   Timer t(&s, [&] { fired_at = s.Now(); });
   EXPECT_FALSE(t.pending());
@@ -236,8 +253,8 @@ TEST(TimerTest, FiresAtScheduledTime) {
   EXPECT_FALSE(t.pending());
 }
 
-TEST(TimerTest, RearmReplacesPendingOccurrence) {
-  Simulator s;
+TEST_P(TimerTest, RearmReplacesPendingOccurrence) {
+  Simulator s(GetParam());
   int fired = 0;
   Timer t(&s, [&] { ++fired; });
   t.ScheduleAt(10);
@@ -249,8 +266,8 @@ TEST(TimerTest, RearmReplacesPendingOccurrence) {
   EXPECT_EQ(s.Now(), 30);
 }
 
-TEST(TimerTest, CancelDisarms) {
-  Simulator s;
+TEST_P(TimerTest, CancelDisarms) {
+  Simulator s(GetParam());
   int fired = 0;
   Timer t(&s, [&] { ++fired; });
   t.ScheduleAfter(10);
@@ -261,8 +278,8 @@ TEST(TimerTest, CancelDisarms) {
   EXPECT_EQ(fired, 0);
 }
 
-TEST(TimerTest, CallbackCanRearmItsOwnTimer) {
-  Simulator s;
+TEST_P(TimerTest, CallbackCanRearmItsOwnTimer) {
+  Simulator s(GetParam());
   int fired = 0;
   Timer t;
   t.Bind(&s, [&] {
@@ -276,21 +293,21 @@ TEST(TimerTest, CallbackCanRearmItsOwnTimer) {
   EXPECT_EQ(s.Now(), 50);
 }
 
-TEST(TimerTest, RearmKeepsSchedulingOrderSemantics) {
+TEST_P(TimerTest, RearmKeepsSchedulingOrderSemantics) {
   // A timer occurrence armed after a one-shot event at the same instant
   // runs after it (seq is assigned at arm time), and vice versa.
-  Simulator s;
+  Simulator s(GetParam());
   std::vector<int> order;
   Timer t(&s, [&] { order.push_back(2); });
-  s.At(5, [&] { order.push_back(1); });
+  s.ScheduleAt(5, [&] { order.push_back(1); });
   t.ScheduleAt(5);
-  s.At(5, [&] { order.push_back(3); });
+  s.ScheduleAt(5, [&] { order.push_back(3); });
   s.RunAll();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(TimerTest, DestructorCancelsPendingOccurrence) {
-  Simulator s;
+TEST_P(TimerTest, DestructorCancelsPendingOccurrence) {
+  Simulator s(GetParam());
   int fired = 0;
   {
     Timer t(&s, [&] { ++fired; });
@@ -302,20 +319,23 @@ TEST(TimerTest, DestructorCancelsPendingOccurrence) {
   EXPECT_EQ(fired, 0);
 }
 
-TEST(TimerTest, SlotRecyclingAfterTimerDeathIsSafe) {
-  Simulator s;
+TEST_P(TimerTest, SlotRecyclingAfterTimerDeathIsSafe) {
+  Simulator s(GetParam());
   {
     Timer t(&s, [] {});
     t.ScheduleAfter(100);
-  }  // timer dies with an occurrence still keyed in the heap
+  }  // timer dies with an occurrence still keyed in the queue
   // The freed slot is recycled by ordinary events; the stale timer key must
   // not fire them early or at all.
   int fired = 0;
-  s.At(100, [&] { ++fired; });
+  s.ScheduleAt(100, [&] { ++fired; });
   s.RunAll();
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(s.executed_events(), 1u);
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, TimerTest,
+                         ::testing::ValuesIn(AllQueueBackends()), BackendName);
 
 }  // namespace
 }  // namespace draconis::sim

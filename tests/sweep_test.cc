@@ -251,6 +251,7 @@ TEST(SweepReportTest, GoldenDocument) {
       "x": 1.5,
       "scheduler": "Draconis",
       "policy": "fcfs",
+      "sim_queue": "ladder",
       "seed": 9,
       "offered_tasks_per_second": 1000,
       "offered_utilization": 0.25,

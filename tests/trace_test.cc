@@ -413,12 +413,12 @@ TEST(TraceFailureTest, RehomingTimelineSpansSwitchFailover) {
   client.SetScheduler(node_a);
 
   for (int burst = 0; burst < 10; ++burst) {
-    simulator.At(1 + burst * FromMicros(500), [&] {
+    simulator.ScheduleAt(1 + burst * FromMicros(500), [&] {
       client.SubmitJob(
           std::vector<cluster::TaskSpec>(16, cluster::TaskSpec{FromMicros(100), 0, 0, 0, 0}));
     });
   }
-  simulator.At(FromMillis(2) + FromMicros(60), [&] {
+  simulator.ScheduleAt(FromMillis(2) + FromMicros(60), [&] {
     network.Disconnect(node_a);
     client.SetScheduler(node_b);
     for (auto& executor : executors) {
