@@ -38,6 +38,9 @@ draconis_add_bench(fig14_failover)
 # Not a paper figure: the PIFO switch-policy platform (docs/pifo.md);
 # emits BENCH_pifo.json in CI.
 draconis_add_bench(fig_pifo_policies)
+# Not a paper figure: measured multi-rack scalability on the hierarchical
+# topology (docs/topology.md); emits BENCH_scalability.json in CI.
+draconis_add_bench(fig_scalability_racks)
 draconis_add_bench(tab_efficiency)
 draconis_add_bench(tab_capacity)
 draconis_add_bench(tab_ablation)

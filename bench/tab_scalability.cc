@@ -1,20 +1,27 @@
 // Reproduces §8.2's scalability claim: "Our simulations show that Draconis
 // supports clusters of millions of cores when running 500 us tasks."
 //
-// Two parts:
+// Three parts:
 //  1. A measured small-scale run showing throughput grows linearly with
 //     executors (the switch never becomes the bottleneck at testbed scale).
-//  2. The analytic headroom model the claim rests on: per scheduling
+//  2. Measured multi-rack points on the hierarchical topology
+//     (docs/topology.md): the same per-executor load spread over independent
+//     ToR pipelines; bench/fig_scalability_racks pushes this to >= 10^5
+//     executors. Every point's sweep JSON records num_racks and
+//     cross_rack_fraction so the two series stay distinguishable downstream.
+//  3. The analytic headroom model the claim rests on: per scheduling
 //     decision the switch processes a fixed handful of packets (submission,
 //     pull, assignment, ack/notice), so a pipeline rated at billions of
 //     packets per second supports N = rate_budget * T / packets_per_decision
 //     cores at task duration T; queue memory bounds the backlog it can park.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/common.h"
 #include "core/queue_entry.h"
+#include "topology/topology.h"
 
 using namespace draconis;
 using namespace draconis::bench;
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
   runner.ParseFlagsOrExit(argc, argv);
 
   const std::vector<size_t> executor_counts = {16, 64, 160};
+  const std::vector<size_t> rack_counts = {2, 4};
 
   sweep::SweepSpec spec;
   spec.name = "tab_scalability";
@@ -75,8 +83,48 @@ int main(int argc, char** argv) {
     point.config = std::move(config);
     spec.points.push_back(std::move(point));
   }
+  for (size_t racks : rack_counts) {
+    // Same per-executor offered load as the single-switch series, sharded
+    // over `racks` independent ToR pipelines (64 executors per rack).
+    ExperimentConfig config;
+    config.scheduler = SchedulerKind::kDraconis;
+    config.cluster = topology::ClusterTopology::Uniform(racks, 8, 8);
+    // A client is a 150 ns/packet busy server (~3M tasks/s with acks);
+    // provision one per 1M offered tasks/s so the clients never become the
+    // bottleneck the single-switch series doesn't have.
+    config.num_clients =
+        racks * std::max<size_t>(8, static_cast<size_t>(0.98 * 280e3 * 64 / 1e6) + 1);
+    config.noop_executors = true;
+    config.warmup = FromMillis(5);
+    config.horizon = runner.horizon();
+    config.max_tasks_per_packet = 1;
+    const double total = static_cast<double>(config.cluster.total_executors());
+    workload::OpenLoopSpec stream_spec;
+    stream_spec.tasks_per_second = 0.98 * 280e3 * total;
+    stream_spec.duration = config.horizon;
+    stream_spec.tasks_per_job = 16;
+    stream_spec.service = workload::ServiceTime::Fixed(0);
+    stream_spec.seed = 70;
+    config.stream = workload::GenerateOpenLoop(stream_spec);
 
-  const auto results = runner.Run(spec);
+    sweep::SweepPoint point;
+    char label[32];
+    std::snprintf(label, sizeof(label), "racks-%zu", racks);
+    point.label = label;
+    point.series = "Draconis-multirack";
+    point.x = total;
+    point.config = std::move(config);
+    spec.points.push_back(std::move(point));
+  }
+
+  const auto results = runner.Run(spec, [&](std::vector<sweep::SweepPointResult>& rs) {
+    for (sweep::SweepPointResult& r : rs) {
+      // Recorded for every point (0 racks = the legacy single switch) so the
+      // JSON keeps the two measured series distinguishable.
+      r.scalars["num_racks"] = static_cast<double>(r.result.num_racks);
+      r.scalars["cross_rack_fraction"] = r.result.cross_rack_fraction;
+    }
+  });
 
   std::printf("--- measured: pull throughput grows linearly with executors ---\n");
   std::printf("%12s %16s %18s\n", "executors", "decisions/s", "per-executor");
@@ -86,6 +134,15 @@ int main(int argc, char** argv) {
         static_cast<double>(config.num_workers * config.executors_per_worker);
     std::printf("%12.0f %15.2fM %17.0fk\n", total, results[i].result.throughput_tps / 1e6,
                 results[i].result.throughput_tps / total / 1e3);
+  }
+
+  std::printf("\n--- measured: multi-rack topology, same load per executor ---\n");
+  std::printf("%12s %12s %16s %18s\n", "racks", "executors", "decisions/s", "per-executor");
+  for (size_t i = 0; i < rack_counts.size(); ++i) {
+    const sweep::SweepPointResult& r = results[executor_counts.size() + i];
+    const double total = r.x;
+    std::printf("%12zu %12.0f %15.2fM %17.0fk\n", rack_counts[i], total,
+                r.result.throughput_tps / 1e6, r.result.throughput_tps / total / 1e3);
   }
 
   std::printf("\n--- analytic: cores supported at the switch packet budget ---\n");

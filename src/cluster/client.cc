@@ -65,7 +65,10 @@ void Client::SendTasks(std::vector<net::TaskInfo> tasks) {
     const size_t n = std::min(config_.max_tasks_per_packet, tasks.size() - offset);
     net::Packet pkt;
     pkt.op = net::OpCode::kJobSubmission;
-    pkt.dst = scheduler_;
+    // Multi-rack placement routes each submission packet (the home ToR unless
+    // its queue depth tripped the overflow watermark); legacy clients go
+    // straight to their scheduler.
+    pkt.dst = config_.router != nullptr ? config_.router->Route(scheduler_) : scheduler_;
     pkt.uid = config_.uid;
     pkt.jid = tasks[offset].id.jid;
     pkt.tasks.assign(std::make_move_iterator(tasks.begin() + offset),
@@ -74,7 +77,7 @@ void Client::SendTasks(std::vector<net::TaskInfo> tasks) {
       for (const net::TaskInfo& t : pkt.tasks) {
         if (recorder_->Sampled(t.id)) {
           recorder_->Record(t.id, trace::Kind::kClientSend, simulator_->Now(),
-                            simulator_->Now(), pkt.tasks.size(), scheduler_,
+                            simulator_->Now(), pkt.tasks.size(), pkt.dst,
                             t.meta.attempt, 0);
         }
       }

@@ -18,6 +18,7 @@
 #include "net/network.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "topology/fabric.h"
 #include "trace/recorder.h"
 #include "workload/spec.h"
 
@@ -37,6 +38,11 @@ struct ClientConfig {
   // §3.3: consecutive timeouts (no completion in between) before the client
   // falls back to the standby scheduler, when one is set via SetStandby.
   uint32_t rehome_after_timeouts = 2;
+  // Multi-rack placement (docs/topology.md): when set, every submission
+  // packet's destination ToR is chosen by the home rack's router instead of
+  // going straight to `scheduler_`. Owned by the deployment; must outlive
+  // the client. Null = legacy single-switch routing.
+  topology::SubmissionRouter* router = nullptr;
   net::HostProfile host_profile = net::HostProfile::Dpdk(TimeNs{150});
 };
 

@@ -44,22 +44,52 @@ uint32_t PullBasedDeployment::ExecPropsFor(size_t worker) const {
 void PullBasedDeployment::WireWorkers(Testbed& testbed) {
   DRACONIS_CHECK_MSG(!scheduler_nodes_.empty(), "WireWorkers before Build");
   const ExperimentConfig& cfg = config();
-  executors_.reserve(cfg.num_workers * cfg.executors_per_worker);
-  for (size_t w = 0; w < cfg.num_workers; ++w) {
-    for (size_t e = 0; e < cfg.executors_per_worker; ++e) {
-      ExecutorConfig ec = cfg.executor_template;
-      ec.worker_node = static_cast<uint32_t>(w);
-      ec.exec_props = ExecPropsFor(w);
-      ec.drop_tasks = cfg.noop_executors;
-      if (cfg.locality_access_model) {
-        ec.topology = &testbed.topology();
+  const std::vector<topology::RackSpec> racks = EffectiveRackSpecs(cfg);
+  const bool multi_rack = cfg.cluster.enabled();
+  DRACONIS_CHECK_MSG(!multi_rack || scheduler_nodes_.size() == racks.size(),
+                     "multi-rack deployment must build one scheduler per rack");
+  size_t total_executors = 0;
+  for (const topology::RackSpec& rack : racks) {
+    total_executors += rack.executors();
+  }
+  executors_.reserve(total_executors);
+  rack_first_executor_.clear();
+  size_t worker = 0;  // global worker index: unique across racks
+  for (size_t r = 0; r < racks.size(); ++r) {
+    rack_first_executor_.push_back(executors_.size());
+    for (size_t w = 0; w < racks[r].num_workers; ++w, ++worker) {
+      for (size_t e = 0; e < racks[r].executors_per_worker; ++e) {
+        ExecutorConfig ec = cfg.executor_template;
+        ec.worker_node = static_cast<uint32_t>(worker);
+        ec.exec_props = ExecPropsFor(worker);
+        ec.drop_tasks = cfg.noop_executors;
+        if (cfg.locality_access_model) {
+          ec.topology = &testbed.topology();
+        }
+        executors_.push_back(std::make_unique<Executor>(&testbed, ec));
+        if (multi_rack) {
+          testbed.network().SetNodeRack(executors_.back()->node_id(), static_cast<uint32_t>(r));
+        }
       }
-      executors_.push_back(std::make_unique<Executor>(&testbed, ec));
     }
   }
-  // Stagger the initial pulls so the fleet doesn't arrive in lockstep.
-  for (size_t i = 0; i < executors_.size(); ++i) {
-    executors_[i]->Start(scheduler_nodes_[0], static_cast<TimeNs>(1 + i * 211));
+  rack_first_executor_.push_back(executors_.size());
+  // Stagger the initial pulls so the fleet doesn't arrive in lockstep; each
+  // executor pulls from its own rack's ToR. Legacy (no ClusterTopology)
+  // configs keep the unwrapped global stagger the determinism goldens pin.
+  // Topology configs wrap a rack-local stagger: an unwrapped 10^5-executor
+  // fleet would spread its first pulls over tens of milliseconds — past any
+  // microsecond-scale measurement window — while the wrap keeps every start
+  // inside ~54 us and degenerates to the legacy schedule below 256 executors
+  // (which is what keeps the 1-rack topology bit-identical to the
+  // single-switch golden).
+  constexpr size_t kStaggerWrap = 256;
+  for (size_t r = 0; r < racks.size(); ++r) {
+    const net::NodeId tor = scheduler_nodes_[multi_rack ? r : 0];
+    for (size_t i = rack_first_executor_[r]; i < rack_first_executor_[r + 1]; ++i) {
+      const size_t slot = multi_rack ? (i - rack_first_executor_[r]) % kStaggerWrap : i;
+      executors_[i]->Start(tor, static_cast<TimeNs>(1 + slot * 211));
+    }
   }
 }
 
@@ -72,9 +102,11 @@ std::vector<net::NodeId> PullBasedDeployment::WorkerNodes() const {
   return nodes;
 }
 
-void PullBasedDeployment::RehomeExecutors(Testbed& testbed, net::NodeId scheduler) {
-  for (auto& ex : executors_) {
-    ex->Rehome(scheduler);
+void PullBasedDeployment::RehomeRackExecutors(Testbed& testbed, size_t rack,
+                                              net::NodeId scheduler) {
+  DRACONIS_CHECK(rack + 1 < rack_first_executor_.size());
+  for (size_t i = rack_first_executor_[rack]; i < rack_first_executor_[rack + 1]; ++i) {
+    executors_[i]->Rehome(scheduler);
     testbed.metrics()->RecordExecutorRehome();
   }
 }

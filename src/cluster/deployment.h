@@ -97,7 +97,9 @@ class SchedulerDeployment {
 
 // Shared worker side of the pull-based kinds (the Draconis switch and the
 // central servers): one Executor per worker core, started with staggered
-// initial pulls toward the primary scheduler address.
+// initial pulls toward its rack's scheduler address. Legacy (no
+// ClusterTopology) configs wire one rack toward scheduler_nodes()[0];
+// multi-rack configs expect one scheduler per rack, in rack order.
 class PullBasedDeployment : public SchedulerDeployment {
  public:
   void WireWorkers(Testbed& testbed) override;
@@ -107,9 +109,10 @@ class PullBasedDeployment : public SchedulerDeployment {
  protected:
   using SchedulerDeployment::SchedulerDeployment;
 
-  // §3.3: point the whole executor fleet at `scheduler` (each executor's pull
-  // watchdog re-issues any request lost to the failed switch).
-  void RehomeExecutors(Testbed& testbed, net::NodeId scheduler);
+  // §3.3: point one rack's executor fleet at `scheduler` (each executor's
+  // pull watchdog re-issues any request lost to the failed switch). Legacy
+  // single-switch configs are rack 0.
+  void RehomeRackExecutors(Testbed& testbed, size_t rack, net::NodeId scheduler);
 
  private:
   // The policy-specific executor property word (EXEC_RSRC bitmap for the
@@ -117,6 +120,8 @@ class PullBasedDeployment : public SchedulerDeployment {
   uint32_t ExecPropsFor(size_t worker) const;
 
   std::vector<std::unique_ptr<Executor>> executors_;
+  // rack r's executors are [rack_first_executor_[r], rack_first_executor_[r+1]).
+  std::vector<size_t> rack_first_executor_;
 };
 
 using DeploymentFactory =
@@ -142,6 +147,10 @@ struct DeploymentInfo {
   // Whether the kind can build a standby and honor a §3.3 scheduler_failover
   // fault event (currently only the in-network Draconis deployment).
   bool failover = false;
+  // Whether the kind can deploy one scheduler instance per rack of a
+  // multi-rack ClusterTopology (docs/topology.md); configs with
+  // cluster.enabled() are rejected for other kinds by Validate.
+  bool multi_rack = false;
   DeploymentFactory make;
 };
 

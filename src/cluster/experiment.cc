@@ -46,6 +46,14 @@ const char* PolicyKindName(PolicyKind kind) {
   return "unknown";
 }
 
+std::vector<topology::RackSpec> EffectiveRackSpecs(const ExperimentConfig& config) {
+  if (config.cluster.enabled()) {
+    return config.cluster.racks;
+  }
+  // Legacy single-switch layout: one rack shaped by the flat knobs.
+  return {topology::RackSpec{config.num_workers, config.executors_per_worker}};
+}
+
 bool PolicyKindFromName(const std::string& name, PolicyKind* out) {
   DRACONIS_CHECK(out != nullptr);
   for (PolicyKind kind : {PolicyKind::kFcfs, PolicyKind::kPriority, PolicyKind::kResource,
@@ -123,6 +131,31 @@ std::string ExperimentConfig::Validate() const {
     }
   }
 
+  const std::string cluster_error = cluster.Validate();
+  if (!cluster_error.empty()) {
+    return "cluster topology: " + cluster_error;
+  }
+  if (cluster.enabled()) {
+    if (!info.multi_rack) {
+      return std::string(info.canonical_name) +
+             " deploys a single switch; a multi-rack ClusterTopology needs a "
+             "multi-rack-capable scheduler kind (draconis)";
+    }
+    if (num_schedulers > 1) {
+      return "a multi-rack ClusterTopology already deploys one scheduler per rack; "
+             "num_schedulers must be 1";
+    }
+    if (policy != PolicyKind::kFcfs) {
+      return std::string("policy '") + PolicyKindName(policy) +
+             "' keeps per-switch state the cross-rack placement layer does not shard; "
+             "combine a ClusterTopology with the fcfs policy";
+    }
+    if (locality_access_model) {
+      return "locality_access_model maps workers onto the locality policy's data racks, "
+             "which a multi-rack ClusterTopology replaces; disable one of the two";
+    }
+  }
+
   const TimeNs last_arrival = stream.empty() ? 0 : stream.back().at;
   if (warmup >= EffectiveHorizon(*this, last_arrival)) {
     return "warmup must end before the horizon (warmup=" + std::to_string(warmup) +
@@ -152,9 +185,18 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   const TimeNs last_arrival = stream.empty() ? 0 : stream.back().at;
   const TimeNs horizon = EffectiveHorizon(config, last_arrival);
 
+  const std::vector<topology::RackSpec> rack_specs = EffectiveRackSpecs(config);
+  const size_t num_racks_eff = rack_specs.size();
+  size_t total_workers = 0;
+  size_t total_executors = 0;
+  for (const topology::RackSpec& rack : rack_specs) {
+    total_workers += rack.num_workers;
+    total_executors += rack.executors();
+  }
+
   TestbedConfig tc;
   tc.seed = config.seed;
-  tc.num_workers = config.num_workers;
+  tc.num_workers = total_workers;
   tc.num_racks = config.num_racks;
   tc.warmup = config.warmup;
   tc.horizon = horizon;
@@ -162,6 +204,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       config.policy == PolicyKind::kPriority ? config.priority_levels : 0;
   tc.node_series_bucket = config.node_series_bucket;
   tc.network = config.network;
+  if (config.cluster.enabled()) {
+    // The aggregation tier is part of the topology spec; thread it into the
+    // fabric's two-tier latency model.
+    tc.network.aggregation_latency = config.cluster.aggregation_latency;
+    tc.network.agg_ns_per_byte = config.cluster.agg_ns_per_byte;
+  }
   tc.trace = config.trace;
   tc.sim_queue = config.sim_queue;
   Testbed testbed(tc);
@@ -189,8 +237,22 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     }
     deployment->ConfigureClient(cc);
     clients.push_back(std::make_unique<Client>(&testbed, cc));
-    clients.back()->SetScheduler(scheduler_nodes[c % scheduler_nodes.size()]);
-    if (!deployment->standby_nodes().empty()) {
+    // Round-robin homing; under a multi-rack topology scheduler_nodes is the
+    // rack-ordered ToR table, so this is also the client's home rack.
+    size_t sched_index = c % scheduler_nodes.size();
+    if (config.cluster.enabled() &&
+        config.cluster.client_homing == topology::ClientHoming::kFirstRack) {
+      sched_index = 0;
+    }
+    clients.back()->SetScheduler(scheduler_nodes[sched_index]);
+    if (num_racks_eff > 1) {
+      testbed.network().SetNodeRack(clients.back()->node_id(),
+                                    static_cast<uint32_t>(sched_index));
+    }
+    // The standby (when built) protects scheduler_nodes[0]; only clients
+    // homed there arm the timeout-rehome fallback. Legacy single-switch
+    // configs have sched_index == 0 for every client.
+    if (!deployment->standby_nodes().empty() && sched_index == 0) {
       clients.back()->SetStandby(deployment->standby_nodes()[0]);
     }
     client_ptrs.push_back(clients.back().get());
@@ -285,7 +347,6 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   deployment->Harvest(result);
 
   MetricsHub* metrics = testbed.metrics();
-  const size_t total_executors = config.num_workers * config.executors_per_worker;
   const size_t offered_tasks = workload::TotalTasks(stream);
   const double stream_seconds = last_arrival > 0 ? ToSeconds(last_arrival) : 1.0;
   result.offered_tasks_per_second = static_cast<double>(offered_tasks) / stream_seconds;
@@ -308,6 +369,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.executor_busy_fraction =
       static_cast<double>(metrics->total_busy()) /
       (static_cast<double>(horizon - config.warmup) * static_cast<double>(total_executors));
+  if (config.cluster.enabled()) {
+    result.cross_rack_packets = testbed.network().cross_rack_packets();
+  }
 
   if (!config.fault_plan.empty()) {
     RecoveryStats& rec = result.recovery;

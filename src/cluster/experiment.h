@@ -33,6 +33,7 @@
 #include "net/network.h"
 #include "p4/pipeline.h"
 #include "sim/event_queue.h"
+#include "topology/topology.h"
 #include "trace/recorder.h"
 #include "workload/spec.h"
 
@@ -71,6 +72,14 @@ struct ExperimentConfig {
   size_t num_racks = 3;
   size_t num_clients = 4;
   size_t num_schedulers = 1;  // Sparrow deployments may run several
+
+  // Multi-rack physical topology (docs/topology.md). When enabled (>= 1
+  // rack), the rack specs replace num_workers/executors_per_worker as the
+  // cluster shape, the deployment builds one ToR switch per rack, and
+  // clients home to racks per cluster.client_homing. Disabled (empty) runs
+  // the legacy single-switch layout. Not to be confused with num_racks,
+  // which is the locality *policy's* data-rack count.
+  topology::ClusterTopology cluster{};
 
   // Scheduler-specific knobs.
   uint32_t jbsq_k = 3;                                   // R2P2
@@ -178,8 +187,24 @@ struct ExperimentResult {
   double executor_busy_fraction = 0.0;
   TimeNs drain_time = -1;  // when the last task completed (run_to_completion)
 
+  // Multi-rack topology results; num_racks stays 0 for legacy single-switch
+  // runs (the sweep JSON emits the block only when it is set).
+  size_t num_racks = 0;
+  std::vector<uint64_t> rack_decisions;  // per-rack tasks_assigned
+  uint64_t home_submissions = 0;         // routed to the client's home ToR
+  uint64_t cross_rack_submissions = 0;   // forwarded to a sibling rack
+  double cross_rack_fraction = 0.0;      // cross / (home + cross)
+  uint64_t summary_packets = 0;          // queue-depth summaries broadcast
+  uint64_t cross_rack_packets = 0;       // all fabric packets that crossed racks
+
   RecoveryStats recovery{};
 };
+
+// The per-rack shape an experiment actually runs: the configured topology's
+// racks when cluster.enabled(), otherwise one legacy rack built from
+// num_workers/executors_per_worker. Deployments and benches share this so
+// wiring order (and thus NodeId assignment) has a single source of truth.
+std::vector<topology::RackSpec> EffectiveRackSpecs(const ExperimentConfig& config);
 
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 

@@ -32,6 +32,11 @@ uint64_t Testbed::SeedFor(SeedDomain domain, uint64_t index) const {
       return config_.seed * 131 + index;
     case SeedDomain::kFault:
       return config_.seed * 6151 + 11 + index;
+    case SeedDomain::kPlacement:
+      // Rack-indexed: a pure function of (seed, index) with a golden-ratio
+      // index spread, so rack streams are mutually independent and stable
+      // under rack-count changes (pinned in tests/topology_test.cc).
+      return config_.seed * 9973 + 257 + index * 0x9E3779B97F4A7C15ULL;
   }
   DRACONIS_CHECK_MSG(false, "unknown seed domain");
   return config_.seed;

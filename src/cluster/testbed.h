@@ -38,6 +38,9 @@ enum class SeedDomain {
   kFault,      // fault-injection decisions (src/fault/); never consumed
                // unless a fault rule actually draws, so a faultless run is
                // bit-identical with or without the domain
+  kPlacement,  // cross-rack placement (src/topology/), rack-indexed: rack
+               // r's stream depends only on (seed, r), so growing the
+               // cluster by a rack never perturbs racks 0..r
 };
 
 // The substrate shape: everything the Testbed needs that is independent of

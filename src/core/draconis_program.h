@@ -90,6 +90,20 @@ class DraconisProgram : public p4::SwitchProgram {
   bool pifo_mode() const { return pifo_ != nullptr; }
   const p4::Pifo<QueueEntry>& pifo() const { return *pifo_; }
 
+  // Control-plane view of the total queued-task count across all class
+  // queues (or the PIFO), as published in kQueueDepthSummary packets by the
+  // multi-rack summary layer (src/topology/).
+  uint64_t cp_queue_depth() const {
+    if (pifo_ != nullptr) {
+      return pifo_->cp_size();
+    }
+    uint64_t depth = 0;
+    for (const auto& q : queues_) {
+      depth += q->cp_occupancy();
+    }
+    return depth;
+  }
+
   // Optional task-lifecycle recorder (nullable; never affects behaviour).
   void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
 

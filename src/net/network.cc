@@ -25,7 +25,33 @@ Network::Network(sim::Simulator* simulator, const NetworkConfig& config)
 NodeId Network::Register(Endpoint* endpoint, const HostProfile& profile) {
   DRACONIS_CHECK(endpoint != nullptr);
   hosts_.push_back(Host{endpoint, profile, 0});
+  rack_of_.push_back(0);
   return static_cast<NodeId>(hosts_.size() - 1);
+}
+
+void Network::SetNodeRack(NodeId node, uint32_t rack) {
+  DRACONIS_CHECK(node < rack_of_.size());
+  rack_of_[node] = rack;
+  if (rack >= uplink_busy_.size()) {
+    uplink_busy_.resize(rack + 1, 0);
+  }
+}
+
+uint32_t Network::NodeRack(NodeId node) const {
+  DRACONIS_CHECK(node < rack_of_.size());
+  return rack_of_[node];
+}
+
+bool Network::IsSwitch(NodeId node) const {
+  if (node == switch_node_) {
+    return true;
+  }
+  for (NodeId s : switch_nodes_) {
+    if (s == node) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void Network::Send(NodeId from, Packet pkt) {
@@ -57,13 +83,30 @@ void Network::Send(NodeId from, Packet pkt) {
   tx.busy_until = std::max(tx.busy_until, now) + tx.profile.tx_cost;
   const TimeNs departs = tx.busy_until;
 
-  const int hops = (from == switch_node_ || pkt.dst == switch_node_) ? 1 : 2;
+  const int hops = (IsSwitch(from) || IsSwitch(pkt.dst)) ? 1 : 2;
   const auto serialization =
       static_cast<TimeNs>(config_.ns_per_byte * static_cast<double>(pkt.WireSize()));
+
+  // Two-tier model: endpoints in different racks route via the aggregation
+  // tier — two extra tier hops plus queueing/serialization on the source
+  // rack's uplink (a single busy server per rack). Same-rack traffic (the
+  // only kind on an unconfigured fabric) pays nothing here.
+  TimeNs tier_extra = 0;
+  if (rack_of_[from] != rack_of_[pkt.dst]) {
+    ++cross_rack_packets_;
+    tier_extra = 2 * config_.aggregation_latency;
+    if (config_.agg_ns_per_byte > 0.0) {
+      TimeNs& uplink = uplink_busy_[rack_of_[from]];
+      uplink = std::max(uplink, departs) +
+               static_cast<TimeNs>(config_.agg_ns_per_byte * static_cast<double>(pkt.WireSize()));
+      tier_extra += uplink - departs;
+    }
+  }
+
   const TimeNs jitter =
       config_.max_jitter > 0 ? static_cast<TimeNs>(rng_.NextBelow(config_.max_jitter)) : 0;
   const TimeNs arrives =
-      departs + hops * config_.propagation + serialization + jitter + latency_penalty_;
+      departs + hops * config_.propagation + serialization + tier_extra + jitter + latency_penalty_;
 
   if (recorder_ != nullptr) {
     // One wire span per sampled task: send initiation -> fabric arrival.

@@ -62,6 +62,15 @@ struct NetworkConfig {
   TimeNs propagation = TimeNs{1100};  // one hop: NIC + cable + forwarding
   double ns_per_byte = 0.08;          // 100 Gbps serialization
   TimeNs max_jitter = TimeNs{100};    // uniform [0, max_jitter)
+  // Two-tier topology (src/topology/): a packet whose endpoints sit in
+  // different racks pays two extra aggregation-tier hops of this latency
+  // (ToR -> aggregation -> ToR) ...
+  TimeNs aggregation_latency = 0;
+  // ... plus serialization on the source rack's uplink, modeled as a single
+  // busy server per rack; 0 = infinite uplink capacity. Both knobs are inert
+  // while every node sits in rack 0 (the default), so single-rack runs are
+  // bit-identical to the pre-topology fabric.
+  double agg_ns_per_byte = 0.0;
   uint64_t seed = 1;
   // Seed of the fault-decision stream (drop-probability draws). Kept apart
   // from `seed` (the jitter stream) so installing fault rules never perturbs
@@ -83,6 +92,19 @@ class Network {
   // Marks `node` as the switch so that endpoint-to-endpoint traffic that does
   // not terminate at the switch is charged two propagation hops.
   void SetSwitchNode(NodeId node) { switch_node_ = node; }
+
+  // Multi-rack topology: additionally marks `node` as a switch for hop
+  // accounting (every ToR is one edge hop from its rack), without displacing
+  // the legacy primary switch set via SetSwitchNode.
+  void AddSwitchNode(NodeId node) { switch_nodes_.push_back(node); }
+
+  // Assigns `node` to a rack for the two-tier latency model; every node
+  // starts in rack 0, so an unassigned fabric never pays aggregation costs.
+  void SetNodeRack(NodeId node, uint32_t rack);
+  uint32_t NodeRack(NodeId node) const;
+
+  // Cross-rack packets sent so far (delivered or not).
+  uint64_t cross_rack_packets() const { return cross_rack_packets_; }
 
   // Optional task-lifecycle recorder (nullable; never affects behaviour).
   void SetRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
@@ -124,6 +146,7 @@ class Network {
   };
 
   void RecordNetDrops(const Packet& pkt);
+  bool IsSwitch(NodeId node) const;
 
   sim::Simulator* simulator_;
   NetworkConfig config_;
@@ -132,10 +155,14 @@ class Network {
   trace::Recorder* recorder_ = nullptr;
   std::vector<Host> hosts_;
   NodeId switch_node_ = kInvalidNode;
+  std::vector<NodeId> switch_nodes_;  // additional ToR switches (multi-rack)
+  std::vector<uint32_t> rack_of_;     // parallel to hosts_; all 0 by default
+  std::vector<TimeNs> uplink_busy_;   // per-rack aggregation uplink server
   std::unordered_map<uint64_t, double> drop_rules_;  // (from << 32 | to) -> p
   TimeNs latency_penalty_ = 0;
   uint64_t packets_delivered_ = 0;
   uint64_t packets_dropped_ = 0;
+  uint64_t cross_rack_packets_ = 0;
 };
 
 }  // namespace draconis::net

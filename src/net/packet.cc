@@ -40,6 +40,8 @@ const char* OpCodeName(OpCode op) {
       return "param_fetch";
     case OpCode::kParamData:
       return "param_data";
+    case OpCode::kQueueDepthSummary:
+      return "queue_depth_summary";
   }
   return "unknown";
 }

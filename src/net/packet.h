@@ -56,6 +56,9 @@ enum class OpCode : uint8_t {
   // function" task fetches the real parameters from the client directly.
   kParamFetch = 16,
   kParamData = 17,
+  // Multi-rack topology (src/topology/): a ToR broadcasts its queue depth to
+  // the sibling racks' summary exchanges.
+  kQueueDepthSummary = 18,
 };
 
 // FN_ID of the special transmission function (§4.4): the submitted task
@@ -158,6 +161,11 @@ struct Packet {
   // kParamData: bulk payload riding with the packet (task parameters); it
   // counts toward the wire size and hence the serialization delay.
   uint32_t payload_bytes = 0;
+
+  // kQueueDepthSummary: the sender's rack and its ToR queue depth (the
+  // summary rides as payload_bytes for wire accounting).
+  uint32_t summary_rack = 0;
+  uint64_t summary_depth = 0;
 
   // --- Simulation metadata ----------------------------------------------------
   TimeNs created_at = -1;     // when the original packet was sent

@@ -83,6 +83,21 @@ void WriteResultBody(json::Writer& w, const cluster::ExperimentResult& result) {
   }
   w.Key("counters");
   WriteCounters(w, result.counters);
+  // Emitted only for multi-rack topology runs (num_racks stays 0 otherwise),
+  // so legacy sweep output keeps its byte-identical golden.
+  if (result.num_racks > 0) {
+    w.Key("num_racks").UInt(result.num_racks);
+    w.Key("cross_rack_fraction").Double(result.cross_rack_fraction);
+    w.Key("home_submissions").UInt(result.home_submissions);
+    w.Key("cross_rack_submissions").UInt(result.cross_rack_submissions);
+    w.Key("cross_rack_packets").UInt(result.cross_rack_packets);
+    w.Key("summary_packets").UInt(result.summary_packets);
+    w.Key("rack_decisions").BeginArray();
+    for (uint64_t decisions : result.rack_decisions) {
+      w.UInt(decisions);
+    }
+    w.EndArray();
+  }
   // Emitted only for fault-plan runs, so fault-free sweep output (and its
   // golden in tests/sweep_test.cc) is byte-identical to before.
   if (result.recovery.fault_plan_active) {

@@ -1,0 +1,51 @@
+#include "topology/placement.h"
+
+#include "common/check.h"
+
+namespace draconis::topology {
+
+uint32_t PowerOfTwoPlacement::ChooseRack(uint32_t home, const DepthDirectory& depths) {
+  const size_t n = depths.num_racks();
+  const uint64_t home_depth = depths.rack(home).depth;
+  // Fast path — and the determinism guarantee: below the watermark no
+  // randomness is drawn, so an overflow-free run is bit-identical to one
+  // with placement disabled.
+  if (n <= 1 || home_depth <= watermark_) {
+    return home;
+  }
+  // Sample two siblings (with replacement when there is only one).
+  uint32_t a;
+  uint32_t b;
+  if (n == 2) {
+    a = b = home == 0 ? 1 : 0;
+  } else {
+    a = static_cast<uint32_t>(rng_.NextBelow(n - 1));
+    if (a >= home) {
+      ++a;
+    }
+    b = static_cast<uint32_t>(rng_.NextBelow(n - 1));
+    if (b >= home) {
+      ++b;
+    }
+  }
+  const uint32_t best = depths.rack(a).depth <= depths.rack(b).depth ? a : b;
+  // Stale summaries can make every sibling look hot; forwarding onto a rack
+  // that looks no better than home only adds aggregation-tier latency.
+  if (depths.rack(best).depth >= home_depth) {
+    return home;
+  }
+  return best;
+}
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(const ClusterTopology& topo, uint64_t seed) {
+  switch (topo.placement) {
+    case PlacementKind::kHome:
+      return std::make_unique<HomeOnlyPlacement>();
+    case PlacementKind::kPowerOfTwo:
+      return std::make_unique<PowerOfTwoPlacement>(topo.overflow_watermark, seed);
+  }
+  DRACONIS_CHECK_MSG(false, "unknown placement kind");
+  return nullptr;
+}
+
+}  // namespace draconis::topology

@@ -1,0 +1,93 @@
+// Cross-rack placement: the pluggable policy that decides, per submission,
+// which rack's ToR a client-side packet is sent to (docs/topology.md).
+//
+// Contract: ChooseRack must return the home rack whenever the home ToR's
+// summarized queue depth is at or below the overflow watermark, and it must
+// not draw randomness on that fast path — a cluster that never overflows is
+// bit-identical whatever policy is installed. Policies see only the
+// DepthDirectory (the local rack's possibly-stale view of every ToR's queue
+// depth, refreshed by real summary packets), never live switch state.
+
+#ifndef DRACONIS_TOPOLOGY_PLACEMENT_H_
+#define DRACONIS_TOPOLOGY_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "topology/topology.h"
+
+namespace draconis::topology {
+
+// One rack's view of a sibling ToR queue depth. updated_at is the simulation
+// time the summary was *generated* (not received), so policies could reason
+// about staleness; -1 means no summary has arrived yet (treated as depth 0).
+struct RackDepthSummary {
+  uint64_t depth = 0;
+  TimeNs updated_at = -1;
+};
+
+// Per-rack replicated summary table: rack r's DepthDirectory holds r's local
+// depth (refreshed synchronously by its SummaryPublisher) and the last
+// summary received from each sibling.
+class DepthDirectory {
+ public:
+  explicit DepthDirectory(size_t num_racks) : racks_(num_racks) {}
+
+  void Update(uint32_t rack, uint64_t depth, TimeNs updated_at) {
+    racks_[rack].depth = depth;
+    racks_[rack].updated_at = updated_at;
+  }
+
+  const RackDepthSummary& rack(uint32_t r) const { return racks_[r]; }
+  size_t num_racks() const { return racks_.size(); }
+
+ private:
+  std::vector<RackDepthSummary> racks_;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Picks the destination rack for one submission from a client homed on
+  // `home`, given the home rack's current directory.
+  virtual uint32_t ChooseRack(uint32_t home, const DepthDirectory& depths) = 0;
+};
+
+// Always the home ToR (placement disabled; the 1-rack degenerate case).
+class HomeOnlyPlacement : public PlacementPolicy {
+ public:
+  uint32_t ChooseRack(uint32_t home, const DepthDirectory& depths) override {
+    (void)depths;
+    return home;
+  }
+};
+
+// Power-of-two-choices over the replicated summaries (RackSched-style): when
+// the home ToR's summarized depth exceeds the watermark, sample two sibling
+// racks and forward to the one with the smaller summarized depth — unless
+// even that sibling looks as loaded as home, in which case stay home (never
+// forward onto a hotter rack on stale data).
+class PowerOfTwoPlacement : public PlacementPolicy {
+ public:
+  PowerOfTwoPlacement(uint64_t overflow_watermark, uint64_t seed)
+      : watermark_(overflow_watermark), rng_(seed) {}
+
+  uint32_t ChooseRack(uint32_t home, const DepthDirectory& depths) override;
+
+ private:
+  uint64_t watermark_;
+  Rng rng_;
+};
+
+// Builds the policy configured by `topo` for one rack. `seed` comes from the
+// rack-indexed SeedDomain::kPlacement so adding racks never perturbs the
+// streams of existing ones.
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(const ClusterTopology& topo, uint64_t seed);
+
+}  // namespace draconis::topology
+
+#endif  // DRACONIS_TOPOLOGY_PLACEMENT_H_

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "fault/plan.h"
 #include "sim/simulator.h"
+#include "topology/topology.h"
 #include "workload/generators.h"
 #include "workload/google_trace.h"
 
@@ -429,6 +430,92 @@ TEST(DeterminismTest, FailoverRunIsBitIdentical) {
   EXPECT_EQ(a.recovery.executor_rehomes, b.recovery.executor_rehomes);
   EXPECT_EQ(a.recovery.packets_dropped, b.recovery.packets_dropped);
   EXPECT_EQ(a.counters.failovers, b.counters.failovers);
+}
+
+// The multi-rack degenerate case (docs/topology.md): a 1-rack ClusterTopology
+// builds the same scheduler, the same registration order, and no fabric
+// machinery (no summary publishers, no routers), so it must reproduce the
+// single-switch pinned golden bit for bit. This is the topology subsystem's
+// whole backward-compatibility contract in one assertion block.
+TEST(DeterminismTest, OneRackTopologyIsBitIdenticalToSingleSwitchGolden) {
+  cluster::ExperimentConfig config = Fig05aMiniConfig();
+  config.cluster = topology::ClusterTopology::Uniform(1, 4, 4);
+  cluster::ExperimentResult result = RunExperiment(config);
+
+  EXPECT_EQ(result.num_racks, 1u);
+  EXPECT_EQ(result.cross_rack_submissions, 0u);
+  EXPECT_EQ(result.metrics->tasks_completed(), 130u);
+  EXPECT_EQ(result.metrics->sched_delay().Percentile(0.50), 7679);
+  EXPECT_EQ(result.metrics->sched_delay().Percentile(0.99), 366517);
+  EXPECT_EQ(result.metrics->e2e_delay().Percentile(0.50), 516095);
+  EXPECT_EQ(result.metrics->e2e_delay().Percentile(0.99), 869596);
+  EXPECT_DOUBLE_EQ(result.throughput_tps, 10000.0);
+}
+
+// Captured from a known-good build of the 2-rack mini run below; update only
+// for an intentional behaviour change, and say so in the commit message.
+constexpr uint64_t kTwoRackGoldenCompletions = 130;
+constexpr TimeNs kTwoRackGoldenSchedP50 = 7679;
+constexpr TimeNs kTwoRackGoldenE2eP99 = 516095;
+
+cluster::ExperimentConfig TwoRackMiniConfig() {
+  cluster::ExperimentConfig config = Fig05aMiniConfig();
+  // Two racks of the fig05a shape; the two clients home round-robin, one per
+  // rack, so both ToR pipelines see traffic and the summary fabric runs.
+  config.cluster = topology::ClusterTopology::Uniform(2, 4, 4);
+  return config;
+}
+
+// Same seed + same topology => bit-identical multi-rack runs, pinned against
+// numbers captured from a known-good build (same update policy as the
+// single-switch golden table above). Freezes the multi-rack registration
+// order, the rack-indexed placement seed domain, and the summary-fabric
+// event schedule.
+TEST(DeterminismTest, TwoRackRunReplaysBitIdenticallyAndMatchesPin) {
+  cluster::ExperimentResult a = RunExperiment(TwoRackMiniConfig());
+  cluster::ExperimentResult b = RunExperiment(TwoRackMiniConfig());
+
+  EXPECT_EQ(a.metrics->tasks_submitted(), b.metrics->tasks_submitted());
+  EXPECT_EQ(a.metrics->tasks_completed(), b.metrics->tasks_completed());
+  EXPECT_EQ(a.metrics->sched_delay().count(), b.metrics->sched_delay().count());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.metrics->sched_delay().Percentile(q), b.metrics->sched_delay().Percentile(q))
+        << "q=" << q;
+    EXPECT_EQ(a.metrics->e2e_delay().Percentile(q), b.metrics->e2e_delay().Percentile(q))
+        << "q=" << q;
+  }
+  EXPECT_EQ(a.switch_counters.passes, b.switch_counters.passes);
+  EXPECT_EQ(a.counters.tasks_assigned, b.counters.tasks_assigned);
+  EXPECT_EQ(a.cross_rack_submissions, b.cross_rack_submissions);
+  ASSERT_EQ(a.rack_decisions.size(), 2u);
+  EXPECT_EQ(a.rack_decisions, b.rack_decisions);
+  // Both racks schedule: the feeder really does split the stream.
+  EXPECT_GT(a.rack_decisions[0], 0u);
+  EXPECT_GT(a.rack_decisions[1], 0u);
+
+  // The pinned golden (see the comment on PinnedGoldensPerSchedulerKind).
+  EXPECT_EQ(a.num_racks, 2u);
+  EXPECT_EQ(a.metrics->tasks_completed(), kTwoRackGoldenCompletions);
+  EXPECT_EQ(a.metrics->sched_delay().Percentile(0.50), kTwoRackGoldenSchedP50);
+  EXPECT_EQ(a.metrics->e2e_delay().Percentile(0.99), kTwoRackGoldenE2eP99);
+}
+
+// §3.3 failover on a 2-rack topology: rack 0's ToR fails and its standby is
+// promoted while rack 1 keeps scheduling. A smoke, not a golden — it guards
+// that the per-rack fault path (standby build, executor rehoming, summary
+// publisher retarget) composes with the topology at all.
+TEST(DeterminismTest, TwoRackTorFailoverRecovers) {
+  cluster::ExperimentConfig config = TwoRackMiniConfig();
+  config.fault_plan.SchedulerFailover(FromMillis(7));
+  config.fault_settle = FromMillis(6);
+  cluster::ExperimentResult result = RunExperiment(config);
+
+  EXPECT_GT(result.counters.failovers, 0u);
+  EXPECT_GT(result.recovery.executor_rehomes, 0u);
+  EXPECT_GT(result.metrics->tasks_completed(), 0u);
+  ASSERT_EQ(result.rack_decisions.size(), 2u);
+  // The surviving rack keeps scheduling through the fault.
+  EXPECT_GT(result.rack_decisions[1], 0u);
 }
 
 // Builds a randomized self-extending event graph on `sim`: chains that

@@ -9,6 +9,7 @@
 #include "cluster/deployment.h"
 #include "cluster/experiment.h"
 #include "common/check.h"
+#include "topology/topology.h"
 #include "workload/generators.h"
 
 namespace draconis::cluster {
@@ -243,6 +244,47 @@ TEST(ValidateTest, RejectsSwitchPoliciesTheSchedulerCannotRun) {
 
   config.scheduler = SchedulerKind::kDraconis;
   EXPECT_EQ(config.Validate(), "");
+}
+
+TEST(ValidateTest, RejectsClusterCombosTheTopologyCannotRun) {
+  // A multi-rack topology on the Draconis kind with fcfs is fine...
+  ExperimentConfig config = TinyConfig();
+  config.cluster = topology::ClusterTopology::Uniform(2, 2, 4);
+  EXPECT_EQ(config.Validate(), "");
+
+  // ...but single-switch baselines cannot shard.
+  config.scheduler = SchedulerKind::kSparrow;
+  std::string error = config.Validate();
+  EXPECT_NE(error.find("multi-rack"), std::string::npos) << error;
+
+  // One scheduler per rack is implied; replicas on top are rejected.
+  config = TinyConfig();
+  config.cluster = topology::ClusterTopology::Uniform(2, 2, 4);
+  config.num_schedulers = 2;
+  error = config.Validate();
+  EXPECT_NE(error.find("num_schedulers"), std::string::npos) << error;
+
+  // Per-switch policy state (priority levels etc.) is not sharded.
+  config = TinyConfig();
+  config.cluster = topology::ClusterTopology::Uniform(2, 2, 4);
+  config.policy = PolicyKind::kPriority;
+  error = config.Validate();
+  EXPECT_NE(error.find("fcfs"), std::string::npos) << error;
+
+  // The locality policy's data-rack map and the cluster topology are
+  // mutually exclusive models of "rack".
+  config = TinyConfig();
+  config.cluster = topology::ClusterTopology::Uniform(2, 2, 4);
+  config.locality_access_model = true;
+  error = config.Validate();
+  EXPECT_NE(error.find("locality_access_model"), std::string::npos) << error;
+
+  // Topology-level errors propagate with context.
+  config = TinyConfig();
+  config.cluster = topology::ClusterTopology::Uniform(2, 2, 4);
+  config.cluster.racks[1].num_workers = 0;
+  error = config.Validate();
+  EXPECT_NE(error.find("cluster topology: "), std::string::npos) << error;
 }
 
 TEST(ValidateTest, RejectsSwitchPolicyCombinedWithPerLevelQueues) {
